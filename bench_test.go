@@ -1,0 +1,335 @@
+// Package mhm_test holds the repository benchmark harness: one benchmark
+// per table and figure of the paper's evaluation (§5), plus
+// microbenchmarks of the pipeline stages. Run with:
+//
+//	go test -bench=. -benchmem
+package mhm_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/experiments"
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/memometer"
+	"github.com/memheatmap/mhm/internal/pca"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// Shared expensive fixtures, built once across benchmarks.
+var (
+	fixOnce sync.Once
+	fixErr  error
+	fixLab  *experiments.Lab
+	fixDet  *core.Detector     // δ=2KB, variance-selected L'
+	fixDet9 *core.Detector     // δ=2KB, L'=9 (paper's §5.4 base config)
+	fixDetC *core.Detector     // δ=8KB, L'=9 (coarse config, L=368)
+	fixDet5 *core.Detector     // δ=2KB, L'=5
+	fixVecs [][]float64        // fresh normal vectors at δ=2KB
+	fixMaps []*heatmap.HeatMap // fresh normal maps at δ=2KB
+	fixVecC [][]float64        // fresh normal vectors at δ=8KB
+)
+
+func fixtures(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixLab, fixErr = experiments.NewLab(1, experiments.QuickScale())
+		if fixErr != nil {
+			return
+		}
+		if fixDet, _, fixErr = fixLab.TrainDetector(100); fixErr != nil {
+			return
+		}
+		mk := func(gran uint64, lprime int, seedBase int64) (*core.Detector, error) {
+			lab := &experiments.Lab{Img: fixLab.Img, Scale: fixLab.Scale}
+			lab.Scale.Gran = gran
+			lab.Scale.PCAOptions = pca.Options{Components: lprime}
+			d, _, err := lab.TrainDetector(seedBase)
+			return d, err
+		}
+		if fixDet9, fixErr = mk(2048, 9, 200); fixErr != nil {
+			return
+		}
+		if fixDetC, fixErr = mk(8192, 9, 300); fixErr != nil {
+			return
+		}
+		if fixDet5, fixErr = mk(2048, 5, 400); fixErr != nil {
+			return
+		}
+		fixMaps, fixErr = fixLab.CollectNormal(9999, 500_000)
+		if fixErr != nil {
+			return
+		}
+		for _, m := range fixMaps {
+			fixVecs = append(fixVecs, m.Vector())
+		}
+		coarse := &experiments.Lab{Img: fixLab.Img, Scale: fixLab.Scale}
+		coarse.Scale.Gran = 8192
+		cmaps, err := coarse.CollectNormal(9999, 500_000)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		for _, m := range cmaps {
+			fixVecC = append(fixVecC, m.Vector())
+		}
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+}
+
+// BenchmarkFig1ExampleMHM regenerates Fig. 1: capture and render one
+// 10 ms MHM of the kernel .text segment.
+func BenchmarkFig1ExampleMHM(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := fixLab.Fig1(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainPipeline regenerates §5.2: full training (simulation,
+// eigenmemory extraction, GMM fit, threshold calibration).
+func BenchmarkTrainPipeline(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fixLab.TrainDetector(int64(1000 + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7AppAddition regenerates Fig. 7: the 500-interval qsort
+// launch/exit run classified end to end.
+func BenchmarkFig7AppAddition(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := fixLab.Fig7(fixDet, int64(700+i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Shellcode regenerates Fig. 8: the 400-interval shellcode
+// run classified end to end.
+func BenchmarkFig8Shellcode(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := fixLab.Fig8(fixDet, int64(800+i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9TrafficVolume regenerates Fig. 9: the rootkit run scored
+// by the traffic-volume baseline.
+func BenchmarkFig9TrafficVolume(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := fixLab.Fig9(int64(900 + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Rootkit regenerates Fig. 10: the rootkit run scored by
+// the MHM detector.
+func BenchmarkFig10Rootkit(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := fixLab.Fig10(fixDet, int64(900+i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchClassify times one MHM classification, the §5.4 analysis-time
+// measurement.
+func benchClassify(b *testing.B, det *core.Detector, vecs [][]float64) {
+	b.Helper()
+	if len(vecs) == 0 {
+		b.Fatal("no vectors")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.LogDensityVector(vecs[i%len(vecs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalysisTime_L1472_Lp9_J5 is the paper's base configuration
+// (358 µs on its ARM secure core).
+func BenchmarkAnalysisTime_L1472_Lp9_J5(b *testing.B) {
+	fixtures(b)
+	benchClassify(b, fixDet9, fixVecs)
+}
+
+// BenchmarkAnalysisTime_L368_Lp9_J5 is the coarse-granularity
+// configuration (paper: 100 µs).
+func BenchmarkAnalysisTime_L368_Lp9_J5(b *testing.B) {
+	fixtures(b)
+	benchClassify(b, fixDetC, fixVecC)
+}
+
+// BenchmarkAnalysisTime_L1472_Lp5_J5 is the reduced-eigenmemory
+// configuration (paper: 216 µs).
+func BenchmarkAnalysisTime_L1472_Lp5_J5(b *testing.B) {
+	fixtures(b)
+	benchClassify(b, fixDet5, fixVecs)
+}
+
+// BenchmarkSessionSimulation times the monitored-core substrate: one
+// second of simulated system execution producing 100 MHMs.
+func BenchmarkSessionSimulation(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := fixLab.CollectNormal(int64(5000+i), 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemometerSnoop times the hardware model's per-burst cost.
+func BenchmarkMemometerSnoop(b *testing.B) {
+	dev := memometer.New()
+	err := dev.Configure(memometer.Config{
+		Region:         heatmap.Def{AddrBase: kernelmap.TextBase, Size: kernelmap.TextSize, Gran: 2048},
+		IntervalMicros: 10_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := int64(i)
+		if err := dev.SnoopBurst(t, kernelmap.TextBase+uint64(i*64)%kernelmap.TextSize, 3); err != nil {
+			b.Fatal(err)
+		}
+		if dev.HasPending() {
+			if _, err := dev.Collect(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHeatMapRecord times the MHM cell update path.
+func BenchmarkHeatMapRecord(b *testing.B) {
+	m, err := heatmap.New(heatmap.Def{AddrBase: kernelmap.TextBase, Size: kernelmap.TextSize, Gran: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Record(kernelmap.TextBase+uint64(i*97)%kernelmap.TextSize, 1)
+	}
+}
+
+// BenchmarkServiceEmit times kernel-service burst generation.
+func BenchmarkServiceEmit(b *testing.B) {
+	img, err := kernelmap.NewImage(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := img.Service(kernelmap.SvcRead)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf = svc.Emit(nil, 0, 1, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = svc.Emit(nil, int64(i), 1, buf[:0])
+	}
+}
+
+// BenchmarkPCAProject times the eigenmemory projection (Eq. 1) alone.
+func BenchmarkPCAProject(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := fixDet9.PCA.Project(fixVecs[i%len(fixVecs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGMMLogProb times the mixture density evaluation (Eq. 2) alone.
+func BenchmarkGMMLogProb(b *testing.B) {
+	fixtures(b)
+	reduced := make([][]float64, len(fixVecs))
+	for i, v := range fixVecs {
+		w, err := fixDet9.PCA.Project(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduced[i] = w
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fixDet9.GMM.LogProb(reduced[i%len(reduced)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGMMTrain times the EM fit on reduced training data.
+func BenchmarkGMMTrain(b *testing.B) {
+	fixtures(b)
+	reduced := make([][]float64, len(fixVecs))
+	for i, v := range fixVecs {
+		w, err := fixDet9.PCA.Project(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduced[i] = w
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gmm.Train(reduced, gmm.Options{Components: 5, Restarts: 1, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEigenmemoryTrain times the PCA stage on a full quick-scale
+// training matrix (L = 1472).
+func BenchmarkEigenmemoryTrain(b *testing.B) {
+	fixtures(b)
+	maps, err := fixLab.CollectNormal(8888, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vectors := make([][]float64, len(maps))
+	for i, m := range maps {
+		vectors[i] = m.Vector()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pca.Train(vectors, pca.Options{Components: 9, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadJobGeneration times per-job segment synthesis.
+func BenchmarkWorkloadJobGeneration(b *testing.B) {
+	img, err := kernelmap.NewImage(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task, err := workload.BuildTask(img, workload.ShaSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task.Behavior.NewJob(int64(i), rng)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTrainThenDetectEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	model := filepath.Join(t.TempDir(), "det.json")
+	// Tiny training volume: the CLI path is what's under test.
+	if err := trainCmd(model, 2, 500, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(model); err != nil || fi.Size() == 0 {
+		t.Fatalf("model file: %v", err)
+	}
+	for _, scenario := range []string{"clean", "rootkit"} {
+		if err := detectCmd(model, scenario, 500, 250, 1, true); err != nil {
+			t.Errorf("%s: %v", scenario, err)
+		}
+	}
+	if err := detectCmd(model, "bogus", 500, 250, 1, false); err == nil {
+		t.Error("bogus scenario accepted")
+	}
+	if err := detectCmd(filepath.Join(t.TempDir(), "missing.json"), "clean", 500, 250, 1, false); err == nil {
+		t.Error("missing model accepted")
+	}
+}

@@ -1,0 +1,322 @@
+// Command mhmreport regenerates every table and figure of the paper's
+// evaluation (§5) plus the ablation studies listed in DESIGN.md, printing
+// the same rows/series the paper reports.
+//
+// Usage:
+//
+//	mhmreport [-exp all|fig1|training|fig6|fig7|fig8|fig9|fig10|analysis|taskset|
+//	           ablation-lprime|ablation-j|ablation-gran|ablation-baseline|
+//	           ablation-cache|smp|alarms|extended|roc|auto-j|generalize|multiregion]
+//	          [-scale paper|medium|quick] [-seed N]
+//
+// The paper scale (10 runs x 3 s of training data) takes tens of seconds;
+// medium and quick scales run the identical pipeline on less data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/experiments"
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/pca"
+)
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "paper":
+		return experiments.PaperScale(), nil
+	case "quick":
+		return experiments.QuickScale(), nil
+	case "medium":
+		s := experiments.PaperScale()
+		s.TrainRuns = 5
+		s.TrainRunMicros = 2_000_000
+		s.CalibRunMicros = 2_000_000
+		s.PCAOptions = pca.Options{VarianceFraction: 0.9999, MaxComponents: 24}
+		s.GMMOptions = gmm.Options{Components: 5, Restarts: 5}
+		return s, nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	scaleName := flag.String("scale", "medium", "paper, medium or quick")
+	seed := flag.Int64("seed", 1, "platform seed")
+	flag.Parse()
+
+	if err := run(*exp, *scaleName, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "mhmreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, scaleName string, seed int64) error {
+	scale, err := scaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+	lab, err := experiments.NewLab(seed, scale)
+	if err != nil {
+		return err
+	}
+
+	// Several experiments share the trained detector; train lazily.
+	var det *core.Detector
+	detector := func() (*core.Detector, error) {
+		if det != nil {
+			return det, nil
+		}
+		fmt.Printf("== training detector (%s scale) ==\n", scaleName)
+		d, rep, err := lab.TrainDetector(100)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(rep.String())
+		det = d
+		return det, nil
+	}
+
+	type runner struct {
+		name string
+		fn   func() error
+	}
+	runners := []runner{
+		{"taskset", func() error {
+			r, err := lab.Taskset(2_000_000, 7)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"fig1", func() error {
+			r, err := lab.Fig1(42)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"training", func() error {
+			_, err := detector()
+			return err
+		}},
+		{"fig6", func() error {
+			r, err := lab.Fig6(300)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"fig7", func() error {
+			d, err := detector()
+			if err != nil {
+				return err
+			}
+			r, err := lab.Fig7(d, 777)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return printDetectionPlot(r)
+		}},
+		{"fig8", func() error {
+			d, err := detector()
+			if err != nil {
+				return err
+			}
+			r, err := lab.Fig8(d, 888)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return printDetectionPlot(r)
+		}},
+		{"fig9", func() error {
+			r, err := lab.Fig9(999)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			chart, err := r.Plot(100, 16)
+			if err != nil {
+				return err
+			}
+			fmt.Print(chart)
+			return nil
+		}},
+		{"fig10", func() error {
+			d, err := detector()
+			if err != nil {
+				return err
+			}
+			r, err := lab.Fig10(d, 999)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			hist := experiments.ShaPhaseHistogram(r, 0.01, 10)
+			fmt.Printf("  flagged-by-phase histogram (mod 10 intervals; sha period = 10 intervals): %v\n", hist)
+			return printDetectionPlot(r)
+		}},
+		{"analysis", func() error {
+			r, err := lab.AnalysisTime(9000, 1000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"ablation-lprime", func() error {
+			r, err := lab.LPrimeSweep([]int{1, 2, 4, 9, 16}, 2000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"ablation-j", func() error {
+			r, err := lab.JSweep([]int{1, 2, 5, 8}, 2000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"ablation-gran", func() error {
+			// δ = 1 KB would need 2,943 cells — more than the 8 KB
+			// on-chip MHM memory holds, so the sweep starts at the
+			// paper's 2 KB.
+			r, err := lab.GranSweep([]uint64{2048, 4096, 8192, 16384}, 2000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"ablation-baseline", func() error {
+			d, err := detector()
+			if err != nil {
+				return err
+			}
+			r, err := lab.BaselineCompare(d, 3000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"ablation-cache", func() error {
+			r, err := lab.CachePlacement(4000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"smp", func() error {
+			r, err := lab.SMPDetection(5000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"alarms", func() error {
+			d, err := detector()
+			if err != nil {
+				return err
+			}
+			r, err := lab.AlarmLatency(d, 6000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"extended", func() error {
+			d, err := detector()
+			if err != nil {
+				return err
+			}
+			r, err := lab.ExtendedScenarios(d, 7000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"roc", func() error {
+			d, err := detector()
+			if err != nil {
+				return err
+			}
+			r, err := lab.ROC(d, 8000, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"auto-j", func() error {
+			r, err := lab.AutoJ(9100, 1, 8)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"generalize", func() error {
+			r, err := lab.Generalize(9500)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+		{"multiregion", func() error {
+			d, err := detector()
+			if err != nil {
+				return err
+			}
+			r, err := lab.MultiRegion(d, 999)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
+		}},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if exp != "all" && exp != r.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("\n==== %s ====\n", r.name)
+		if err := r.fn(); err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// printDetectionPlot renders a detection result's density chart.
+func printDetectionPlot(r *experiments.DetectionResult) error {
+	chart, err := r.Plot(100, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Print(chart)
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"paper", "medium", "quick"} {
+		s, err := scaleByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if s.TrainRuns == 0 || s.IntervalMicros == 0 {
+			t.Errorf("%s: incomplete scale %+v", name, s)
+		}
+	}
+	if _, err := scaleByName("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run("not-an-experiment", "quick", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("taskset", "bogus-scale", 1); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run("taskset", "quick", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("fig1", "quick", 1); err != nil {
+		t.Fatal(err)
+	}
+}

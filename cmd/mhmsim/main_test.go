@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildScenario(t *testing.T) {
+	for _, name := range []string{"clean", "app-addition", "shellcode", "rootkit"} {
+		sc, err := buildScenario(name, 1000)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if name == "clean" && sc != nil {
+			t.Error("clean scenario not nil")
+		}
+		if name != "clean" && sc == nil {
+			t.Errorf("%s: nil scenario", name)
+		}
+	}
+	if _, err := buildScenario("bogus", 1000); err == nil {
+		t.Error("bogus scenario accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.csv")
+	if err := run("clean", 50, 25, 2048, 1, false, -1, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Header + 5 intervals of 10 ms in 50 ms.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "interval,startMicros") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunWithCellsColumn(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cells.csv")
+	if err := run("clean", 20, 10, 8192, 1, true, -1, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(data), "\n", 2)[0]
+	// 368 cells at δ=8 KB plus 4 fixed columns.
+	if got := strings.Count(header, ","); got != 3+368 {
+		t.Errorf("header has %d commas, want %d", got, 3+368)
+	}
+}
+
+func TestRunRender(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "render.txt")
+	if err := run("clean", 30, 10, 2048, 1, false, 1, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "MHM base=0xc0008000") {
+		t.Errorf("render output missing header: %q", string(data)[:80])
+	}
+	// Out-of-range interval errors.
+	if err := run("clean", 30, 10, 2048, 1, false, 99, out, ""); err == nil {
+		t.Error("out-of-range render accepted")
+	}
+}
+
+func TestRunRejectsBadScenario(t *testing.T) {
+	if err := run("bogus", 10, 5, 2048, 1, false, -1, "-", ""); err == nil {
+		t.Error("bad scenario accepted")
+	}
+}
+
+func TestRunCapturesTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.csv")
+	tr := filepath.Join(dir, "bus.trace")
+	if err := run("clean", 30, 10, 2048, 1, false, -1, out, tr); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(tr)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file: %v (size %v)", err, fi)
+	}
+}

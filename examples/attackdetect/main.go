@@ -1,0 +1,98 @@
+// Attackdetect runs all three of the paper's §5.3 attack scenarios —
+// application addition, shellcode execution and a read-hijacking kernel
+// rootkit — against one trained detector and prints per-scenario
+// detection summaries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memheatmap/mhm/internal/attack"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/experiments"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+func main() {
+	lab, err := experiments.NewLab(1, experiments.QuickScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training detector on normal system behaviour...")
+	det, rep, err := lab.TrainDetector(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.String())
+
+	const eventIv = 150
+	iv := int64(10_000)
+	eventAt := eventIv*iv + iv/2
+	scenarios := []attack.Scenario{
+		&attack.AppAddition{Spec: workload.QsortSpec(), LaunchAt: eventAt},
+		&attack.Shellcode{Host: "bitcount", InjectAt: eventAt},
+		&attack.RootkitLKM{LoadAt: eventAt},
+	}
+
+	for i, sc := range scenarios {
+		maps, err := lab.RunScenario(sc, int64(7000+i), 300*iv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdicts, err := det.ClassifySeries(maps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var preFlag, postFlag, preN, postN int
+		firstDetect := -1
+		for _, v := range verdicts {
+			anom := v.Anomalous[0.01]
+			if v.Index < eventIv {
+				preN++
+				if anom {
+					preFlag++
+				}
+			} else {
+				postN++
+				if anom {
+					postFlag++
+					if firstDetect < 0 {
+						firstDetect = v.Index
+					}
+				}
+			}
+		}
+		fmt.Printf("\n%s (event at interval %d):\n", sc.Name(), eventIv)
+		fmt.Printf("  pre-event false positives: %d/%d (%.2f%%)\n",
+			preFlag, preN, 100*float64(preFlag)/float64(preN))
+		fmt.Printf("  post-event flagged:        %d/%d (%.1f%%)\n",
+			postFlag, postN, 100*float64(postFlag)/float64(postN))
+		if firstDetect >= 0 {
+			fmt.Printf("  first alarm at interval %d (%d ms after the event)\n",
+				firstDetect, (firstDetect-eventIv)*10)
+		} else {
+			fmt.Println("  never detected")
+		}
+		printDensityDip(verdicts, eventIv)
+	}
+}
+
+// printDensityDip summarizes the density series around the event.
+func printDensityDip(verdicts []core.Verdict, eventIv int) {
+	mean := func(lo, hi int) float64 {
+		s, n := 0.0, 0
+		for _, v := range verdicts {
+			if v.Index >= lo && v.Index < hi {
+				s += v.LogDensity
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n)
+	}
+	fmt.Printf("  mean log density: pre %.1f, post %.1f\n",
+		mean(eventIv-100, eventIv), mean(eventIv+1, eventIv+150))
+}

@@ -1,0 +1,105 @@
+// Heatmap_explore renders Fig.-1-style ASCII memory heat maps of the
+// simulated kernel .text segment at several granularities, shows how a
+// kernel service's footprint appears in the map, and prints the
+// eigenmemory decomposition of one interval.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/pca"
+	"github.com/memheatmap/mhm/internal/securecore"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+func collect(img *kernelmap.Image, gran uint64, micros int64, seed int64) []*heatmap.HeatMap {
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := securecore.NewSession(img, tasks, securecore.SessionConfig{
+		Region:    heatmap.Def{AddrBase: img.Base, Size: img.Size, Gran: gran},
+		NoiseSeed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maps, err := s.Run(micros)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return maps
+}
+
+func main() {
+	img, err := kernelmap.NewImage(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic kernel: %d functions over %d bytes of .text\n\n",
+		len(img.Functions()), img.Size)
+
+	// One 10 ms interval at three granularities.
+	for _, gran := range []uint64{2048, 8192, 32768} {
+		maps := collect(img, gran, 60_000, 7)
+		m := maps[len(maps)-1]
+		fmt.Printf("δ = %d bytes → %d cells:\n%s\n", gran, len(m.Counts), m.Render(92))
+	}
+
+	// Where does one service land? Emit sys_read alone into a fresh map.
+	svc, err := img.Service(kernelmap.SvcRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solo, err := heatmap.New(heatmap.Def{AddrBase: img.Base, Size: img.Size, Gran: 8192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range svc.Emit(nil, 0, 50, nil) {
+		solo.Record(a.Addr, a.Count)
+	}
+	fmt.Printf("footprint of 50 invocations of %s alone:\n%s\n", svc.Name, solo.Render(92))
+	fmt.Println("hottest functions of sys_read:")
+	for i, fn := range svc.TouchedFunctions() {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-16s %-8s %#x (%d bytes)\n", fn.Name, fn.Subsystem, fn.Addr, fn.Size)
+	}
+
+	// Eigenmemory decomposition of normal intervals.
+	maps := collect(img, 2048, 1_000_000, 7)
+	vectors := make([][]float64, len(maps))
+	for i, m := range maps {
+		vectors[i] = m.Vector()
+	}
+	model, err := pca.Train(vectors, pca.Options{Components: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\neigenmemory decomposition of %d normal MHMs (top 8 components):\n", len(maps))
+	for j, v := range model.Values {
+		fmt.Printf("  u%d: eigenvalue share %.5f\n", j+1, v/model.TotalVariance)
+	}
+	w, err := model.Project(vectors[42])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interval 42 reduced to weights: %v\n", compact(w))
+	e, err := model.ReconstructionError(vectors[42])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstruction RMS error: %.2f accesses/cell\n", e)
+}
+
+func compact(w []float64) []string {
+	out := make([]string, len(w))
+	for i, x := range w {
+		out[i] = fmt.Sprintf("%.0f", x)
+	}
+	return out
+}

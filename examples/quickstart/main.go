@@ -1,0 +1,105 @@
+// Quickstart: train a memory-heat-map anomaly detector on normal
+// behaviour of the simulated real-time system, then score fresh
+// intervals — the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memheatmap/mhm/internal/attack"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/pca"
+	"github.com/memheatmap/mhm/internal/securecore"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+func main() {
+	// 1. The platform: a synthetic embedded kernel image and the paper's
+	// periodic task set (FFT, bitcount, basicmath, sha).
+	img, err := kernelmap.NewImage(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	region := heatmap.Def{AddrBase: img.Base, Size: img.Size, Gran: 2048}
+	fmt.Printf("monitoring kernel .text: base=%#x size=%d bytes, δ=2 KB → %d cells\n",
+		region.AddrBase, region.Size, region.Cells())
+
+	// 2. Collect normal memory heat maps: one MHM per 10 ms interval.
+	collect := func(noiseSeed int64, micros int64) []*heatmap.HeatMap {
+		tasks, err := workload.PaperTaskSet(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := securecore.NewSession(img, tasks, securecore.SessionConfig{
+			Region: region, NoiseSeed: noiseSeed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		maps, err := s.Run(micros)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return maps
+	}
+	var train []*heatmap.HeatMap
+	for run := int64(0); run < 3; run++ {
+		train = append(train, collect(run, 1_000_000)...)
+	}
+	calib := collect(50, 1_000_000)
+	fmt.Printf("collected %d training and %d calibration MHMs\n", len(train), len(calib))
+
+	// 3. Train: eigenmemory PCA (99.99% variance) + GMM (J=5), calibrate
+	// θ0.5 and θ1 thresholds on the held-out normal set.
+	det, err := core.Train(train, calib, core.Config{
+		PCA: pca.Options{VarianceFraction: 0.9999, MaxComponents: 16},
+		GMM: gmm.Options{Components: 5, Restarts: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, lprime := det.Dim()
+	fmt.Printf("trained: %d eigenmemories (%.4f%% variance), %d GMM components\n",
+		lprime, 100*det.PCA.VarianceExplained(), len(det.GMM.Components))
+	for _, th := range det.Thresholds {
+		fmt.Printf("  θ%g = %.2f\n", th.P*100, th.Theta)
+	}
+
+	// 4. Score fresh normal intervals...
+	fresh := collect(99, 200_000)
+	normalAlarms := 0
+	for _, m := range fresh {
+		if anom, _, err := det.Classify(m, 0.01); err != nil {
+			log.Fatal(err)
+		} else if anom {
+			normalAlarms++
+		}
+	}
+	fmt.Printf("fresh normal run: %d/%d intervals flagged at θ1\n", normalAlarms, len(fresh))
+
+	// 5. ...and an attacked run: qsort launched at t = 1 s.
+	sc := &attack.AppAddition{Spec: workload.QsortSpec(), LaunchAt: 1_000_000}
+	s, err := attack.BuildScenarioSession(img, sc, securecore.SessionConfig{
+		Region: region, NoiseSeed: 123,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maps, err := s.Run(2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attackAlarms := 0
+	for _, m := range maps[101:] {
+		if anom, _, err := det.Classify(m, 0.01); err != nil {
+			log.Fatal(err)
+		} else if anom {
+			attackAlarms++
+		}
+	}
+	fmt.Printf("after qsort launch: %d/%d intervals flagged at θ1\n", attackAlarms, len(maps)-101)
+}

@@ -1,0 +1,3 @@
+module github.com/memheatmap/mhm
+
+go 1.22

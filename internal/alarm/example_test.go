@@ -1,0 +1,29 @@
+package alarm_test
+
+import (
+	"fmt"
+
+	"github.com/memheatmap/mhm/internal/alarm"
+)
+
+// Example shows debouncing: one flickering false positive is absorbed,
+// a sustained anomaly raises after two consecutive flags.
+func Example() {
+	rt, err := alarm.NewRuntime(alarm.Config{RaiseAfter: 2, ClearAfter: 3})
+	if err != nil {
+		panic(err)
+	}
+	verdicts := []bool{false, true, false, false, true, true, true, false, false, false}
+	for i, anomalous := range verdicts {
+		if ev := rt.Observe(anomalous, int64(i)*10_000); ev != nil {
+			state := "cleared"
+			if ev.Raised {
+				state = "RAISED"
+			}
+			fmt.Printf("interval %d: alarm %s\n", ev.Interval, state)
+		}
+	}
+	// Output:
+	// interval 5: alarm RAISED
+	// interval 9: alarm cleared
+}

@@ -1,0 +1,288 @@
+// Package attack implements the paper's three §5.3 anomaly scenarios as
+// installable transformations of a monitored-core session:
+//
+//  1. Application addition/deletion — qsort launched and later exited.
+//  2. Shellcode execution — a payload injected into bitcount that
+//     disables ASLR, spawns a shell and kills its host.
+//  3. Kernel rootkit — an LKM loaded at runtime that hijacks the read
+//     system call: loading is loud (module loader), the hijack itself
+//     executes outside .text but delays every read.
+//
+// Each scenario has two stages: Transform rewires task behaviours before
+// the scheduler exists; Install schedules its runtime events on a built
+// session.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+	"github.com/memheatmap/mhm/internal/securecore"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// ErrScenario wraps invalid scenario parameters.
+var ErrScenario = errors.New("attack: invalid scenario")
+
+// Scenario is an attack that can be applied to a monitored-core setup.
+type Scenario interface {
+	// Name identifies the scenario in reports.
+	Name() string
+	// Transform rewires task behaviours in place before session build.
+	Transform(tasks []*rtos.Task) error
+	// Install schedules runtime events on the built scheduler; img is the
+	// kernel image the session monitors (some scenarios register
+	// module-space services on it).
+	Install(sched *rtos.Scheduler, img *kernelmap.Image) error
+}
+
+// AppAddition launches an extra application at LaunchAt and (optionally)
+// exits it at ExitAt — the paper's first scenario, with qsort.
+type AppAddition struct {
+	// Spec is the added application (use workload.QsortSpec() for the
+	// paper's configuration).
+	Spec workload.AppSpec
+	// LaunchAt / ExitAt are absolute simulation times in µs; ExitAt 0
+	// means the application never exits.
+	LaunchAt, ExitAt int64
+}
+
+// Name implements Scenario.
+func (a *AppAddition) Name() string { return "app-addition" }
+
+// Transform implements Scenario; the scenario changes the task set only
+// at runtime.
+func (a *AppAddition) Transform([]*rtos.Task) error {
+	if a.LaunchAt <= 0 {
+		return fmt.Errorf("attack: app addition LaunchAt=%d: %w", a.LaunchAt, ErrScenario)
+	}
+	if a.ExitAt != 0 && a.ExitAt <= a.LaunchAt {
+		return fmt.Errorf("attack: app addition ExitAt=%d before LaunchAt=%d: %w", a.ExitAt, a.LaunchAt, ErrScenario)
+	}
+	return nil
+}
+
+// Install implements Scenario.
+func (a *AppAddition) Install(sched *rtos.Scheduler, img *kernelmap.Image) error {
+	task, err := workload.BuildTask(img, a.Spec)
+	if err != nil {
+		return err
+	}
+	// The process launch itself uses kernel facilities: fork + execve in
+	// a short one-shot before the periodic task starts.
+	launchSegs := []rtos.Segment{
+		{Kind: rtos.Syscall, Duration: 120, Service: kernelmap.SvcFork, Invocations: 1},
+		{Kind: rtos.Syscall, Duration: 200, Service: kernelmap.SvcExec, Invocations: 1},
+	}
+	if err := sched.SpawnOneShotAt(a.LaunchAt, "launcher", launchSegs); err != nil {
+		return err
+	}
+	if err := sched.AddTaskAt(a.LaunchAt, task); err != nil {
+		return err
+	}
+	if a.ExitAt != 0 {
+		// Process exit also runs kernel code.
+		exitSegs := []rtos.Segment{
+			{Kind: rtos.Syscall, Duration: 80, Service: kernelmap.SvcExit, Invocations: 1},
+		}
+		if err := sched.RemoveTaskAt(a.ExitAt, task.Name); err != nil {
+			return err
+		}
+		if err := sched.SpawnOneShotAt(a.ExitAt, "reaper", exitSegs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shellcode injects a payload into a host task: the first job released
+// at or after InjectAt executes the payload — disable ASLR via
+// personality(2), fork+exec a shell — and the host is killed. This is
+// the paper's second scenario (shellcode in bitcount).
+type Shellcode struct {
+	// Host is the infected task name (paper: "bitcount").
+	Host string
+	// InjectAt is the absolute time from which the payload runs.
+	InjectAt int64
+
+	hostPeriod int64
+	hostPhase  int64
+}
+
+// Name implements Scenario.
+func (sc *Shellcode) Name() string { return "shellcode" }
+
+// payloadSegments is the shellcode's observable behaviour: partial host
+// work, then the exploit path.
+func payloadSegments() []rtos.Segment {
+	return []rtos.Segment{
+		{Kind: rtos.Syscall, Duration: 4, Service: kernelmap.SvcSyscallEntry, Invocations: 2},
+		{Kind: rtos.Syscall, Duration: 18, Service: kernelmap.SvcRead, Invocations: 1},
+		{Kind: rtos.Compute, Duration: 700},                                                  // host work until the overflow triggers
+		{Kind: rtos.Syscall, Duration: 8, Service: kernelmap.SvcPersonality, Invocations: 1}, // disable ASLR
+		{Kind: rtos.Syscall, Duration: 120, Service: kernelmap.SvcFork, Invocations: 1},
+		{Kind: rtos.Syscall, Duration: 200, Service: kernelmap.SvcExec, Invocations: 1}, // spawn shell
+		{Kind: rtos.Syscall, Duration: 15, Service: kernelmap.SvcKill, Invocations: 1},  // host dies
+		{Kind: rtos.Syscall, Duration: 80, Service: kernelmap.SvcExit, Invocations: 1},
+	}
+}
+
+// Transform implements Scenario: it wraps the host's behaviour so the
+// hijacked job runs the payload.
+func (sc *Shellcode) Transform(tasks []*rtos.Task) error {
+	if sc.InjectAt <= 0 {
+		return fmt.Errorf("attack: shellcode InjectAt=%d: %w", sc.InjectAt, ErrScenario)
+	}
+	for _, t := range tasks {
+		if t.Name != sc.Host {
+			continue
+		}
+		sc.hostPeriod = t.Period
+		sc.hostPhase = t.Phase
+		base := t.Behavior
+		period, phase, injectAt := t.Period, t.Phase, sc.InjectAt
+		t.Behavior = rtos.BehaviorFunc(func(idx int64, rng *rand.Rand) []rtos.Segment {
+			release := phase + idx*period
+			if release >= injectAt {
+				return payloadSegments()
+			}
+			return base.NewJob(idx, rng)
+		})
+		return nil
+	}
+	return fmt.Errorf("attack: shellcode host %q not in task set: %w", sc.Host, ErrScenario)
+}
+
+// hijackedRelease returns the release time of the first job at or after
+// InjectAt.
+func (sc *Shellcode) hijackedRelease() int64 {
+	if sc.InjectAt <= sc.hostPhase {
+		return sc.hostPhase
+	}
+	k := (sc.InjectAt - sc.hostPhase + sc.hostPeriod - 1) / sc.hostPeriod
+	return sc.hostPhase + k*sc.hostPeriod
+}
+
+// Install implements Scenario: after the hijacked job the host is gone.
+func (sc *Shellcode) Install(sched *rtos.Scheduler, img *kernelmap.Image) error {
+	if sc.hostPeriod == 0 {
+		return fmt.Errorf("attack: shellcode Install before Transform: %w", ErrScenario)
+	}
+	// Remove the host just before its next release after the hijacked
+	// job; the payload killed it.
+	return sched.RemoveTaskAt(sc.hijackedRelease()+sc.hostPeriod-1, sc.Host)
+}
+
+// SvcRootkitHook is the module-space execution profile of the rootkit's
+// hooked read handler, registered on the image at Install time. Its
+// addresses lie in the module area, outside .text: the paper's monitor
+// never sees them (limitation iv); a module-region monitor does.
+const SvcRootkitHook = "rootkit_hook"
+
+// RootkitLKM loads a kernel module at LoadAt that hijacks read(2) by
+// rewriting the system call table — the paper's third scenario. Loading
+// executes the in-.text module loader (visible, Fig. 9's spike); the
+// hijacked handler itself lives in module space *outside* the monitored
+// region and simply calls the original handler after inspecting the
+// buffer, so the steady state changes no .text traffic — only read
+// latency (Fig. 9 steady state vs Fig. 10's sha-synchronized dips).
+type RootkitLKM struct {
+	// LoadAt is the insmod time.
+	LoadAt int64
+	// ReadDelay is the extra kernel-side latency per hijacked read
+	// invocation in µs (default 40).
+	ReadDelay int64
+}
+
+// Name implements Scenario.
+func (rk *RootkitLKM) Name() string { return "rootkit-lkm" }
+
+// Transform implements Scenario: every read syscall issued after LoadAt
+// takes ReadDelay extra microseconds executing module-space code that
+// emits nothing into the monitored region (modeled as a non-emitting
+// segment).
+func (rk *RootkitLKM) Transform(tasks []*rtos.Task) error {
+	if rk.LoadAt <= 0 {
+		return fmt.Errorf("attack: rootkit LoadAt=%d: %w", rk.LoadAt, ErrScenario)
+	}
+	if rk.ReadDelay == 0 {
+		rk.ReadDelay = 40
+	}
+	if rk.ReadDelay < 0 {
+		return fmt.Errorf("attack: rootkit ReadDelay=%d: %w", rk.ReadDelay, ErrScenario)
+	}
+	for _, t := range tasks {
+		base := t.Behavior
+		period, phase, loadAt, delay := t.Period, t.Phase, rk.LoadAt, rk.ReadDelay
+		t.Behavior = rtos.BehaviorFunc(func(idx int64, rng *rand.Rand) []rtos.Segment {
+			segs := base.NewJob(idx, rng)
+			if phase+idx*period < loadAt {
+				return segs
+			}
+			out := make([]rtos.Segment, 0, len(segs)+4)
+			for _, seg := range segs {
+				out = append(out, seg)
+				if seg.Kind == rtos.Syscall && seg.Service == kernelmap.SvcRead {
+					// The hook executes in module space: time passes and
+					// fetches land at module-area addresses the .text
+					// monitor filters out (a module-region monitor sees
+					// them — see securecore.MultiSession).
+					out = append(out, rtos.Segment{
+						Kind:        rtos.Syscall,
+						Duration:    delay * int64(seg.Invocations),
+						Service:     SvcRootkitHook,
+						Invocations: seg.Invocations,
+					})
+				}
+			}
+			return out
+		})
+	}
+	return nil
+}
+
+// Install implements Scenario: insmod runs as a one-shot kernel job,
+// and the hook's module-space execution profile is registered on the
+// image (idempotently — labs share images across scenario runs).
+func (rk *RootkitLKM) Install(sched *rtos.Scheduler, img *kernelmap.Image) error {
+	if _, err := img.Service(SvcRootkitHook); err != nil {
+		if _, err := img.RegisterModuleService(SvcRootkitHook, 0x40000, rk.ReadDelay, 1200, 77); err != nil {
+			return err
+		}
+	}
+	insmod := []rtos.Segment{
+		{Kind: rtos.Syscall, Duration: 30, Service: kernelmap.SvcOpen, Invocations: 1},
+		{Kind: rtos.Syscall, Duration: 90, Service: kernelmap.SvcRead, Invocations: 5},
+		{Kind: rtos.Syscall, Duration: 900, Service: kernelmap.SvcModuleLoad, Invocations: 1},
+		{Kind: rtos.Syscall, Duration: 10, Service: kernelmap.SvcClose, Invocations: 1},
+	}
+	return sched.SpawnOneShotAt(rk.LoadAt, "insmod", insmod)
+}
+
+// BuildScenarioSession is the common harness: builds the paper task set,
+// applies the scenario's Transform, creates a session and Installs the
+// scenario. A nil scenario yields the clean baseline system.
+func BuildScenarioSession(img *kernelmap.Image, sc Scenario, cfg securecore.SessionConfig) (*securecore.Session, error) {
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		return nil, err
+	}
+	if sc != nil {
+		if err := sc.Transform(tasks); err != nil {
+			return nil, err
+		}
+	}
+	s, err := securecore.NewSession(img, tasks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sc != nil {
+		if err := sc.Install(s.Scheduler, s.Image); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,273 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+	"github.com/memheatmap/mhm/internal/securecore"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+func testImage(t *testing.T) *kernelmap.Image {
+	t.Helper()
+	img, err := kernelmap.NewImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func runScenario(t *testing.T, sc Scenario, horizon int64, seed int64) []*heatmap.HeatMap {
+	t.Helper()
+	img := testImage(t)
+	s, err := BuildScenarioSession(img, sc, securecore.SessionConfig{NoiseSeed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps, err := s.Run(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Monitor.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return maps
+}
+
+func relL1(t *testing.T, a, b *heatmap.HeatMap) float64 {
+	t.Helper()
+	d, err := a.L1Distance(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(d) / float64(a.Total()+b.Total())
+}
+
+func TestCleanScenarioMatchesPlainSession(t *testing.T) {
+	img := testImage(t)
+	clean := runScenario(t, nil, 100000, 9)
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := securecore.NewSession(img, tasks, securecore.SessionConfig{NoiseSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.Run(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != len(plain) {
+		t.Fatalf("lengths differ: %d vs %d", len(clean), len(plain))
+	}
+	for i := range clean {
+		if d, _ := clean[i].L1Distance(plain[i]); d != 0 {
+			t.Fatalf("interval %d differs between nil scenario and plain session", i)
+		}
+	}
+}
+
+func TestAppAdditionChangesMHMsAfterLaunch(t *testing.T) {
+	const launch = 500000 // 500 ms -> interval 50
+	sc := &AppAddition{Spec: workload.QsortSpec(), LaunchAt: launch, ExitAt: 900000}
+	infected := runScenario(t, sc, 1000000, 3)
+	clean := runScenario(t, nil, 1000000, 3)
+	if len(infected) != 100 || len(clean) != 100 {
+		t.Fatalf("lengths: %d/%d", len(infected), len(clean))
+	}
+	// Before launch: identical (same seeds, same dynamics).
+	for i := 0; i < 50; i++ {
+		if d, _ := infected[i].L1Distance(clean[i]); d != 0 {
+			t.Fatalf("interval %d differs before launch", i)
+		}
+	}
+	// After launch, before exit: materially different (qsort's services +
+	// timing perturbation).
+	var diff float64
+	for i := 51; i < 90; i++ {
+		diff += relL1(t, infected[i], clean[i])
+	}
+	diff /= 39
+	if diff < 0.02 {
+		t.Errorf("post-launch mean relative L1 = %.4f; qsort left no signature", diff)
+	}
+}
+
+func TestAppAdditionValidation(t *testing.T) {
+	if err := (&AppAddition{Spec: workload.QsortSpec(), LaunchAt: 0}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("zero LaunchAt: %v", err)
+	}
+	if err := (&AppAddition{Spec: workload.QsortSpec(), LaunchAt: 100, ExitAt: 50}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("exit before launch: %v", err)
+	}
+}
+
+func TestShellcodeKillsHost(t *testing.T) {
+	const inject = 300000
+	img := testImage(t)
+	sc := &Shellcode{Host: "bitcount", InjectAt: inject}
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Transform(tasks); err != nil {
+		t.Fatal(err)
+	}
+	s, err := securecore.NewSession(img, tasks, securecore.SessionConfig{NoiseSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Install(s.Scheduler, s.Image); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(800000); err != nil {
+		t.Fatal(err)
+	}
+	// bitcount releases every 20 ms; hijacked job at 300 ms, removal
+	// before 320 ms. Released jobs of bitcount = 300/20 + 1 = 16.
+	// Count completions via a second, instrumented run instead of poking
+	// scheduler internals: compare against the clean run's MHM series.
+	infected := s.Maps()
+	clean := runScenario(t, nil, 800000, 4)
+	for i := 0; i < 30; i++ {
+		if d, _ := infected[i].L1Distance(clean[i]); d != 0 {
+			t.Fatalf("interval %d differs before injection", i)
+		}
+	}
+	var diff float64
+	for i := 31; i < 80; i++ {
+		diff += relL1(t, infected[i], clean[i])
+	}
+	diff /= 49
+	if diff < 0.01 {
+		t.Errorf("post-injection mean relative L1 = %.4f; shellcode invisible", diff)
+	}
+	// Steady state after host death: the traffic mix changes — bitcount's
+	// syscall cells cool while the idle loop's cells heat up (the CPU it
+	// used is idle now). Total volume shifts measurably in some direction.
+	var infTotal, clTotal float64
+	for i := 40; i < 80; i++ {
+		infTotal += float64(infected[i].Total())
+		clTotal += float64(clean[i].Total())
+	}
+	if r := infTotal / clTotal; math.Abs(r-1) < 0.01 {
+		t.Errorf("traffic ratio after host death %.4f; expected a visible shift", r)
+	}
+}
+
+func TestShellcodeValidation(t *testing.T) {
+	img := testImage(t)
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Shellcode{Host: "bitcount", InjectAt: 0}).Transform(tasks); !errors.Is(err, ErrScenario) {
+		t.Errorf("zero InjectAt: %v", err)
+	}
+	if err := (&Shellcode{Host: "nope", InjectAt: 100}).Transform(tasks); !errors.Is(err, ErrScenario) {
+		t.Errorf("missing host: %v", err)
+	}
+	sc := &Shellcode{Host: "bitcount", InjectAt: 100}
+	s, err := securecore.NewSession(img, tasks, securecore.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Install(s.Scheduler, s.Image); !errors.Is(err, ErrScenario) {
+		t.Errorf("Install before Transform: %v", err)
+	}
+}
+
+func TestShellcodeHijackedRelease(t *testing.T) {
+	sc := &Shellcode{Host: "h", InjectAt: 50}
+	sc.hostPeriod, sc.hostPhase = 20, 0
+	if got := sc.hijackedRelease(); got != 60 {
+		t.Errorf("hijackedRelease = %d, want 60", got)
+	}
+	sc.InjectAt = 60
+	if got := sc.hijackedRelease(); got != 60 {
+		t.Errorf("aligned hijackedRelease = %d, want 60", got)
+	}
+	sc.hostPhase = 5
+	sc.InjectAt = 3
+	if got := sc.hijackedRelease(); got != 5 {
+		t.Errorf("pre-phase hijackedRelease = %d, want 5", got)
+	}
+}
+
+func TestRootkitLoadIsLoudSteadyStateIsQuiet(t *testing.T) {
+	const load = 300000 // interval 30
+	sc := &RootkitLKM{LoadAt: load}
+	infected := runScenario(t, sc, 800000, 5)
+	clean := runScenario(t, nil, 800000, 5)
+
+	// Identical before the load.
+	for i := 0; i < 30; i++ {
+		if d, _ := infected[i].L1Distance(clean[i]); d != 0 {
+			t.Fatalf("interval %d differs before load", i)
+		}
+	}
+	// The insmod interval carries a large traffic spike (Fig. 9).
+	spike := float64(infected[30].Total())
+	normal := float64(clean[30].Total())
+	if spike < 1.3*normal {
+		t.Errorf("load interval traffic %.0f vs clean %.0f; expected a pronounced spike", spike, normal)
+	}
+	// Steady state: total traffic statistically indistinguishable (the
+	// hijacked read calls the original handler; Fig. 9's flat tail).
+	var inf, cl float64
+	for i := 40; i < 80; i++ {
+		inf += float64(infected[i].Total())
+		cl += float64(clean[i].Total())
+	}
+	ratio := inf / cl
+	if math.Abs(ratio-1) > 0.03 {
+		t.Errorf("steady-state traffic ratio %.4f; rootkit should not change volume", ratio)
+	}
+	// ... but the composition does shift in some intervals (timing of
+	// read-heavy sha changes), which is what Fig. 10 detects.
+	var maxDiff float64
+	for i := 40; i < 80; i++ {
+		if d := relL1(t, infected[i], clean[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 0.005 {
+		t.Errorf("steady-state max relative L1 = %.5f; rootkit left no compositional trace", maxDiff)
+	}
+}
+
+func TestRootkitValidation(t *testing.T) {
+	if err := (&RootkitLKM{LoadAt: 0}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("zero LoadAt: %v", err)
+	}
+	if err := (&RootkitLKM{LoadAt: 10, ReadDelay: -1}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("negative delay: %v", err)
+	}
+	rk := &RootkitLKM{LoadAt: 10}
+	if err := rk.Transform([]*rtos.Task{}); err != nil {
+		t.Fatal(err)
+	}
+	if rk.ReadDelay != 40 {
+		t.Errorf("default ReadDelay = %d, want 40", rk.ReadDelay)
+	}
+}
+
+func TestScenarioNames(t *testing.T) {
+	for _, tc := range []struct {
+		sc   Scenario
+		want string
+	}{
+		{&AppAddition{}, "app-addition"},
+		{&Shellcode{}, "shellcode"},
+		{&RootkitLKM{}, "rootkit-lkm"},
+	} {
+		if got := tc.sc.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+)
+
+// DataExfiltration models a compromised task that, from StartAt on,
+// covertly ships data out every job: extra reads of the victim data and
+// socket sends on the network stack. Unlike the shellcode scenario the
+// host stays alive and keeps meeting its deadlines — the attack hides
+// inside an existing task's budget, so only its kernel-service mix
+// changes.
+type DataExfiltration struct {
+	// Host is the compromised task (defaults to "basicmath", which has
+	// the slack to hide the extra work).
+	Host string
+	// StartAt is when the exfiltration begins.
+	StartAt int64
+	// SendsPerJob is the number of socket sends added per job
+	// (default 2).
+	SendsPerJob int
+}
+
+// Name implements Scenario.
+func (d *DataExfiltration) Name() string { return "data-exfiltration" }
+
+// Transform implements Scenario.
+func (d *DataExfiltration) Transform(tasks []*rtos.Task) error {
+	if d.StartAt <= 0 {
+		return fmt.Errorf("attack: exfiltration StartAt=%d: %w", d.StartAt, ErrScenario)
+	}
+	if d.Host == "" {
+		d.Host = "basicmath"
+	}
+	if d.SendsPerJob == 0 {
+		d.SendsPerJob = 2
+	}
+	if d.SendsPerJob < 0 {
+		return fmt.Errorf("attack: exfiltration SendsPerJob=%d: %w", d.SendsPerJob, ErrScenario)
+	}
+	for _, t := range tasks {
+		if t.Name != d.Host {
+			continue
+		}
+		base := t.Behavior
+		period, phase, startAt, sends := t.Period, t.Phase, d.StartAt, d.SendsPerJob
+		t.Behavior = rtos.BehaviorFunc(func(idx int64, rng *rand.Rand) []rtos.Segment {
+			segs := base.NewJob(idx, rng)
+			if phase+idx*period < startAt {
+				return segs
+			}
+			// Steal the exfiltration time from the job's largest compute
+			// segment so the task's execution time (and the schedule) is
+			// unchanged — a stealthy attacker stays inside the budget.
+			extra := []rtos.Segment{
+				{Kind: rtos.Syscall, Duration: 36, Service: kernelmap.SvcRead, Invocations: 2},
+				{Kind: rtos.Syscall, Duration: int64(35 * sends), Service: kernelmap.SvcSocket, Invocations: sends},
+			}
+			var cost int64
+			for _, s := range extra {
+				cost += s.Duration
+			}
+			biggest := -1
+			for i, s := range segs {
+				if s.Kind == rtos.Compute && (biggest < 0 || s.Duration > segs[biggest].Duration) {
+					biggest = i
+				}
+			}
+			if biggest < 0 || segs[biggest].Duration <= cost {
+				// No room to hide: append anyway (the attack then also
+				// perturbs timing, making it louder).
+				return append(segs, extra...)
+			}
+			segs[biggest].Duration -= cost
+			out := make([]rtos.Segment, 0, len(segs)+len(extra))
+			out = append(out, segs[:biggest+1]...)
+			out = append(out, extra...)
+			out = append(out, segs[biggest+1:]...)
+			return out
+		})
+		return nil
+	}
+	return fmt.Errorf("attack: exfiltration host %q not in task set: %w", d.Host, ErrScenario)
+}
+
+// Install implements Scenario: nothing to schedule, the behaviour wrap
+// does all the work.
+func (d *DataExfiltration) Install(*rtos.Scheduler, *kernelmap.Image) error { return nil }
+
+// ForkBomb models a denial-of-service process that, at BurstAt, starts
+// spawning children in bursts: repeated fork+exec one-shots that hammer
+// the process-management kernel paths and steal CPU from the task set.
+type ForkBomb struct {
+	// BurstAt is when the bomb detonates.
+	BurstAt int64
+	// Forks is the number of fork+exec pairs (default 12).
+	Forks int
+	// SpacingMicros separates consecutive forks (default 2000).
+	SpacingMicros int64
+}
+
+// Name implements Scenario.
+func (f *ForkBomb) Name() string { return "fork-bomb" }
+
+// Transform implements Scenario.
+func (f *ForkBomb) Transform([]*rtos.Task) error {
+	if f.BurstAt <= 0 {
+		return fmt.Errorf("attack: fork bomb BurstAt=%d: %w", f.BurstAt, ErrScenario)
+	}
+	if f.Forks == 0 {
+		f.Forks = 12
+	}
+	if f.SpacingMicros == 0 {
+		f.SpacingMicros = 2000
+	}
+	if f.Forks < 0 || f.SpacingMicros < 0 {
+		return fmt.Errorf("attack: fork bomb Forks=%d Spacing=%d: %w", f.Forks, f.SpacingMicros, ErrScenario)
+	}
+	return nil
+}
+
+// Install implements Scenario.
+func (f *ForkBomb) Install(sched *rtos.Scheduler, img *kernelmap.Image) error {
+	segs := []rtos.Segment{
+		{Kind: rtos.Syscall, Duration: 120, Service: kernelmap.SvcFork, Invocations: 1},
+		{Kind: rtos.Syscall, Duration: 200, Service: kernelmap.SvcExec, Invocations: 1},
+	}
+	for i := 0; i < f.Forks; i++ {
+		at := f.BurstAt + int64(i)*f.SpacingMicros
+		if err := sched.SpawnOneShotAt(at, fmt.Sprintf("bomb-%d", i), segs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+func TestExfiltrationPreservesScheduleChangesComposition(t *testing.T) {
+	const start = 300_000
+	sc := &DataExfiltration{StartAt: start}
+	infected := runScenario(t, sc, 800_000, 6)
+	clean := runScenario(t, nil, 800_000, 6)
+
+	// Identical before the start.
+	for i := 0; i < 30; i++ {
+		if d, _ := infected[i].L1Distance(clean[i]); d != 0 {
+			t.Fatalf("interval %d differs before start", i)
+		}
+	}
+	// Stealth check: total volume shifts only slightly (the attacker
+	// hides in the host's budget; only the service mix changes)...
+	var inf, cl float64
+	for i := 40; i < 80; i++ {
+		inf += float64(infected[i].Total())
+		cl += float64(clean[i].Total())
+	}
+	if r := inf / cl; math.Abs(r-1) > 0.10 {
+		t.Errorf("volume ratio %.4f; exfiltration should be nearly volume-neutral", r)
+	}
+	// ...but the composition changes in the host's intervals (basicmath
+	// period 50 ms -> every 5th interval window).
+	var maxDiff float64
+	for i := 40; i < 80; i++ {
+		if d := relL1(t, infected[i], clean[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 0.01 {
+		t.Errorf("max relative L1 %.4f; exfiltration left no compositional trace", maxDiff)
+	}
+}
+
+func TestExfiltrationValidation(t *testing.T) {
+	img := testImage(t)
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&DataExfiltration{StartAt: 0}).Transform(tasks); !errors.Is(err, ErrScenario) {
+		t.Errorf("zero StartAt: %v", err)
+	}
+	if err := (&DataExfiltration{StartAt: 5, Host: "ghost"}).Transform(tasks); !errors.Is(err, ErrScenario) {
+		t.Errorf("missing host: %v", err)
+	}
+	if err := (&DataExfiltration{StartAt: 5, SendsPerJob: -1}).Transform(tasks); !errors.Is(err, ErrScenario) {
+		t.Errorf("negative sends: %v", err)
+	}
+	d := &DataExfiltration{StartAt: 5}
+	if err := d.Transform(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host != "basicmath" || d.SendsPerJob != 2 {
+		t.Errorf("defaults = %+v", d)
+	}
+}
+
+func TestForkBombIsLoud(t *testing.T) {
+	const burst = 300_000 // interval 30
+	sc := &ForkBomb{BurstAt: burst}
+	infected := runScenario(t, sc, 600_000, 8)
+	clean := runScenario(t, nil, 600_000, 8)
+	// The burst intervals carry much more process-management traffic.
+	var burstInf, burstCl float64
+	for i := 30; i < 34; i++ {
+		burstInf += float64(infected[i].Total())
+		burstCl += float64(clean[i].Total())
+	}
+	if burstInf < 1.2*burstCl {
+		t.Errorf("fork bomb traffic %.0f vs clean %.0f; expected loud burst", burstInf, burstCl)
+	}
+	// Composition in the burst window differs massively.
+	if d := relL1(t, infected[30], clean[30]); d < 0.05 {
+		t.Errorf("burst interval relative L1 %.4f", d)
+	}
+}
+
+func TestForkBombValidation(t *testing.T) {
+	if err := (&ForkBomb{}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("zero BurstAt: %v", err)
+	}
+	if err := (&ForkBomb{BurstAt: 5, Forks: -1}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("negative forks: %v", err)
+	}
+	fb := &ForkBomb{BurstAt: 5}
+	if err := fb.Transform(nil); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Forks != 12 || fb.SpacingMicros != 2000 {
+		t.Errorf("defaults = %+v", fb)
+	}
+}
+
+func TestExtraScenarioNames(t *testing.T) {
+	if (&DataExfiltration{}).Name() != "data-exfiltration" {
+		t.Error("exfiltration name")
+	}
+	if (&ForkBomb{}).Name() != "fork-bomb" {
+		t.Error("fork bomb name")
+	}
+}

@@ -1,0 +1,71 @@
+// Package baseline implements the comparison detector implicit in the
+// paper's Fig. 9: monitoring only the memory traffic *volume* of the
+// monitored region. It catches loud events (module loading) but is blind
+// to attacks that preserve total traffic — the contrast that motivates
+// heat maps.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/stats"
+)
+
+// ErrTraining wraps invalid training input.
+var ErrTraining = errors.New("baseline: invalid training input")
+
+// VolumeDetector flags intervals whose total access count leaves the
+// mean ± K·σ band of normal traffic.
+type VolumeDetector struct {
+	// Mean and Std summarize normal per-interval traffic.
+	Mean, Std float64
+	// K is the band half-width in standard deviations.
+	K float64
+}
+
+// TrainVolume fits the detector on normal MHMs. k defaults to 3 when
+// non-positive.
+func TrainVolume(maps []*heatmap.HeatMap, k float64) (*VolumeDetector, error) {
+	if len(maps) < 2 {
+		return nil, fmt.Errorf("baseline: %d training MHMs: %w", len(maps), ErrTraining)
+	}
+	if k <= 0 {
+		k = 3
+	}
+	totals := make([]float64, len(maps))
+	for i, m := range maps {
+		totals[i] = float64(m.Total())
+	}
+	mean, err := stats.Mean(totals)
+	if err != nil {
+		return nil, err
+	}
+	std, err := stats.StdDev(totals)
+	if err != nil {
+		return nil, err
+	}
+	return &VolumeDetector{Mean: mean, Std: std, K: k}, nil
+}
+
+// Classify reports whether the interval's volume is outside the band,
+// along with the raw total (the Fig. 9 series value).
+func (d *VolumeDetector) Classify(m *heatmap.HeatMap) (anomalous bool, total uint64) {
+	total = m.Total()
+	dev := float64(total) - d.Mean
+	if dev < 0 {
+		dev = -dev
+	}
+	return dev > d.K*d.Std, total
+}
+
+// ClassifySeries applies Classify to a series.
+func (d *VolumeDetector) ClassifySeries(maps []*heatmap.HeatMap) (flags []bool, totals []uint64) {
+	flags = make([]bool, len(maps))
+	totals = make([]uint64, len(maps))
+	for i, m := range maps {
+		flags[i], totals[i] = d.Classify(m)
+	}
+	return flags, totals
+}

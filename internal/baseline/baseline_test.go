@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+)
+
+var testDef = heatmap.Def{AddrBase: 0, Size: 0x1000, Gran: 0x100}
+
+func volumeMap(t *testing.T, total uint32) *heatmap.HeatMap {
+	t.Helper()
+	m, err := heatmap.New(testDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Counts[0] = total
+	return m
+}
+
+func trainSet(t *testing.T, rng *rand.Rand, n int, mean, spread float64) []*heatmap.HeatMap {
+	t.Helper()
+	out := make([]*heatmap.HeatMap, n)
+	for i := range out {
+		out[i] = volumeMap(t, uint32(mean+spread*rng.NormFloat64()))
+	}
+	return out
+}
+
+func TestTrainVolumeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := TrainVolume(trainSet(t, rng, 500, 10000, 200), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean < 9900 || d.Mean > 10100 {
+		t.Errorf("Mean = %g", d.Mean)
+	}
+	if d.Std < 150 || d.Std > 250 {
+		t.Errorf("Std = %g", d.Std)
+	}
+	if d.K != 3 {
+		t.Errorf("K = %g", d.K)
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := TrainVolume(trainSet(t, rng, 10, 1000, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K != 3 {
+		t.Errorf("default K = %g, want 3", d.K)
+	}
+}
+
+func TestTrainVolumeValidation(t *testing.T) {
+	if _, err := TrainVolume(nil, 3); !errors.Is(err, ErrTraining) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := TrainVolume([]*heatmap.HeatMap{volumeMap(t, 1)}, 3); !errors.Is(err, ErrTraining) {
+		t.Errorf("single: %v", err)
+	}
+}
+
+func TestClassifyCatchesLoudAndMissesQuiet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := TrainVolume(trainSet(t, rng, 500, 10000, 200), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The insmod-style spike is caught.
+	if anom, total := d.Classify(volumeMap(t, 60000)); !anom || total != 60000 {
+		t.Errorf("spike: anom=%v total=%d", anom, total)
+	}
+	// A volume-preserving attack is invisible — Fig. 9's point: same
+	// total, different composition.
+	stealth, err := heatmap.New(testDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stealth.Counts[7] = 10000 // different cell, same volume
+	if anom, _ := d.Classify(stealth); anom {
+		t.Error("volume detector flagged a volume-preserving anomaly; it should be blind to it")
+	}
+	// Normal traffic passes.
+	flagged := 0
+	for i := 0; i < 200; i++ {
+		if anom, _ := d.Classify(volumeMap(t, uint32(10000+200*rng.NormFloat64()))); anom {
+			flagged++
+		}
+	}
+	if flagged > 5 {
+		t.Errorf("flagged %d/200 normal intervals", flagged)
+	}
+}
+
+func TestClassifySeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := TrainVolume(trainSet(t, rng, 100, 5000, 100), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := []*heatmap.HeatMap{
+		volumeMap(t, 5000),
+		volumeMap(t, 50000),
+		volumeMap(t, 4990),
+	}
+	flags, totals := d.ClassifySeries(maps)
+	if flags[0] || !flags[1] || flags[2] {
+		t.Errorf("flags = %v", flags)
+	}
+	if totals[1] != 50000 {
+		t.Errorf("totals = %v", totals)
+	}
+}
+
+func TestLowVolumeAlsoFlagged(t *testing.T) {
+	// The band is two-sided: a dead task (traffic drop) is an anomaly too.
+	rng := rand.New(rand.NewSource(5))
+	d, err := TrainVolume(trainSet(t, rng, 300, 10000, 100), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anom, _ := d.Classify(volumeMap(t, 1000)); !anom {
+		t.Error("traffic collapse not flagged")
+	}
+}

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/stats"
+)
+
+// EntropyDetector is the second comparison point the paper's related
+// work suggests (Gu et al., adapted from packet-class distributions to
+// memory behaviour): it ignores volume entirely and scores each
+// interval by the KL divergence of its cell *distribution* against the
+// normal average distribution. Stronger than volume monitoring —
+// composition changes register — but unlike the MHM detector it has no
+// notion of distinct normal modes: legitimate phase-to-phase variation
+// and attacks land on the same axis.
+type EntropyDetector struct {
+	// Profile is the smoothed normal cell distribution (sums to 1).
+	Profile []float64
+	// Theta is the detection threshold on the KL score.
+	Theta float64
+	// Epsilon is the smoothing mass protecting against log(0).
+	Epsilon float64
+}
+
+// TrainEntropy fits the profile on normal MHMs and sets Theta to the
+// (1−p)-quantile of their scores (expected false-positive rate p,
+// default 0.01).
+func TrainEntropy(maps []*heatmap.HeatMap, p float64) (*EntropyDetector, error) {
+	if len(maps) < 2 {
+		return nil, fmt.Errorf("baseline: %d training MHMs: %w", len(maps), ErrTraining)
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	l := len(maps[0].Counts)
+	profile := make([]float64, l)
+	for _, m := range maps {
+		if len(m.Counts) != l {
+			return nil, fmt.Errorf("baseline: inconsistent cell counts: %w", ErrTraining)
+		}
+		total := float64(m.Total())
+		if total == 0 {
+			continue
+		}
+		for i, c := range m.Counts {
+			profile[i] += float64(c) / total
+		}
+	}
+	const eps = 1e-9
+	sum := 0.0
+	for i := range profile {
+		profile[i] = profile[i]/float64(len(maps)) + eps
+		sum += profile[i]
+	}
+	for i := range profile {
+		profile[i] /= sum
+	}
+	d := &EntropyDetector{Profile: profile, Epsilon: eps}
+	scores := make([]float64, len(maps))
+	for i, m := range maps {
+		s, err := d.Score(m)
+		if err != nil {
+			return nil, err
+		}
+		scores[i] = s
+	}
+	theta, err := stats.Quantile(scores, 1-p)
+	if err != nil {
+		return nil, err
+	}
+	d.Theta = theta
+	return d, nil
+}
+
+// Score returns KL(interval distribution ‖ profile) in nats.
+func (d *EntropyDetector) Score(m *heatmap.HeatMap) (float64, error) {
+	if len(m.Counts) != len(d.Profile) {
+		return 0, fmt.Errorf("baseline: map has %d cells, profile %d: %w",
+			len(m.Counts), len(d.Profile), ErrTraining)
+	}
+	total := float64(m.Total())
+	if total == 0 {
+		// An empty interval is maximally surprising relative to any
+		// non-degenerate profile; report the profile's entropy.
+		h := 0.0
+		for _, q := range d.Profile {
+			h -= q * math.Log(q)
+		}
+		return h, nil
+	}
+	kl := 0.0
+	for i, c := range m.Counts {
+		if c == 0 {
+			continue
+		}
+		pi := float64(c) / total
+		kl += pi * math.Log(pi/d.Profile[i])
+	}
+	return kl, nil
+}
+
+// Classify flags the interval when its KL score exceeds Theta.
+func (d *EntropyDetector) Classify(m *heatmap.HeatMap) (anomalous bool, score float64, err error) {
+	s, err := d.Score(m)
+	if err != nil {
+		return false, 0, err
+	}
+	return s > d.Theta, s, nil
+}
+
+// ClassifySeries applies Classify to a series.
+func (d *EntropyDetector) ClassifySeries(maps []*heatmap.HeatMap) (flags []bool, scores []float64, err error) {
+	flags = make([]bool, len(maps))
+	scores = make([]float64, len(maps))
+	for i, m := range maps {
+		flags[i], scores[i], err = d.Classify(m)
+		if err != nil {
+			return nil, nil, fmt.Errorf("baseline: interval %d: %w", i, err)
+		}
+	}
+	return flags, scores, nil
+}

@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+)
+
+// distMap builds an MHM distributing `total` accesses over cells
+// according to weights.
+func distMap(t *testing.T, total float64, weights []float64) *heatmap.HeatMap {
+	t.Helper()
+	m, err := heatmap.New(testDef) // 16 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsum := 0.0
+	for _, w := range weights {
+		wsum += w
+	}
+	for i, w := range weights {
+		if i >= len(m.Counts) {
+			break
+		}
+		m.Counts[i] = uint32(total * w / wsum)
+	}
+	return m
+}
+
+func normalWeights(rng *rand.Rand) []float64 {
+	// Stable distribution with small noise: 40/30/20/10 over 4 cells.
+	base := []float64{4, 3, 2, 1}
+	out := make([]float64, len(base))
+	for i, b := range base {
+		out[i] = b * (1 + 0.03*(2*rng.Float64()-1))
+	}
+	return out
+}
+
+func trainEntropy(t *testing.T) (*EntropyDetector, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var maps []*heatmap.HeatMap
+	for i := 0; i < 300; i++ {
+		maps = append(maps, distMap(t, 10_000, normalWeights(rng)))
+	}
+	d, err := TrainEntropy(maps, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, rng
+}
+
+func TestEntropyProfileNormalized(t *testing.T) {
+	d, _ := trainEntropy(t)
+	sum := 0.0
+	for _, q := range d.Profile {
+		if q <= 0 {
+			t.Errorf("profile entry %g not positive (smoothing failed)", q)
+		}
+		sum += q
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("profile sums to %g", sum)
+	}
+	if d.Theta <= 0 {
+		t.Errorf("Theta = %g", d.Theta)
+	}
+}
+
+func TestEntropyCatchesVolumePreservingShift(t *testing.T) {
+	// The case the volume detector is blind to: identical total, moved
+	// between cells.
+	d, rng := trainEntropy(t)
+	shifted := distMap(t, 10_000, []float64{1, 2, 3, 4}) // reversed mix
+	anom, score, err := d.Classify(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anom {
+		t.Errorf("volume-preserving composition shift not flagged (score %g, θ %g)", score, d.Theta)
+	}
+	// Normal data passes at roughly the configured rate.
+	flagged := 0
+	for i := 0; i < 300; i++ {
+		if a, _, err := d.Classify(distMap(t, 10_000, normalWeights(rng))); err != nil {
+			t.Fatal(err)
+		} else if a {
+			flagged++
+		}
+	}
+	if rate := float64(flagged) / 300; rate > 0.05 {
+		t.Errorf("entropy FP rate %.3f", rate)
+	}
+}
+
+func TestEntropyIgnoresPureVolumeChange(t *testing.T) {
+	// Doubling every cell changes volume, not distribution: the KL
+	// detector must NOT flag it (that is the volume detector's job).
+	d, rng := trainEntropy(t)
+	big := distMap(t, 20_000, normalWeights(rng))
+	if anom, _, err := d.Classify(big); err != nil {
+		t.Fatal(err)
+	} else if anom {
+		t.Error("entropy detector flagged a pure volume change")
+	}
+}
+
+func TestEntropyZeroTotalInterval(t *testing.T) {
+	d, _ := trainEntropy(t)
+	empty, err := heatmap.New(testDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anom, score, err := d.Classify(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anom || score <= 0 {
+		t.Errorf("empty interval: anom=%v score=%g", anom, score)
+	}
+}
+
+func TestEntropyValidation(t *testing.T) {
+	if _, err := TrainEntropy(nil, 0.01); !errors.Is(err, ErrTraining) {
+		t.Errorf("empty: %v", err)
+	}
+	d, _ := trainEntropy(t)
+	other, err := heatmap.New(heatmap.Def{AddrBase: 0, Size: 0x100, Gran: 0x100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Score(other); !errors.Is(err, ErrTraining) {
+		t.Errorf("mismatched cells: %v", err)
+	}
+	if _, _, err := d.ClassifySeries([]*heatmap.HeatMap{other}); !errors.Is(err, ErrTraining) {
+		t.Errorf("series mismatch: %v", err)
+	}
+}

@@ -1,0 +1,411 @@
+// Package core assembles the paper's contribution: training a normal
+// memory-behaviour model from memory heat maps (eigenmemory PCA + GMM)
+// and classifying new MHMs against p-quantile density thresholds — the
+// analysis the secure core performs each monitoring interval.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/pca"
+	"github.com/memheatmap/mhm/internal/stats"
+)
+
+// Errors of the detector pipeline.
+var (
+	// ErrConfig wraps invalid training configuration or inputs.
+	ErrConfig = errors.New("core: invalid configuration")
+	// ErrRegionMismatch is returned when an MHM's definition differs from
+	// the one the detector was trained on.
+	ErrRegionMismatch = errors.New("core: heat map region differs from trained region")
+	// ErrUnknownQuantile is returned when a threshold is requested for an
+	// uncalibrated quantile.
+	ErrUnknownQuantile = errors.New("core: threshold quantile not calibrated")
+)
+
+// Config tunes training. The zero value reproduces the paper's setup
+// except for fields that need data-dependent defaults.
+type Config struct {
+	// PCA options; by default the smallest L' explaining 99.99% of
+	// variance is chosen, as in the paper (§5.2).
+	PCA pca.Options
+	// GMM options; Components defaults to the paper's J = 5 and Restarts
+	// to the paper's 10.
+	GMM gmm.Options
+	// Quantiles lists the p values to calibrate thresholds for; default
+	// {0.005, 0.01} = θ0.5 and θ1 from the paper.
+	Quantiles []float64
+	// ResidualQuantiles enables the residual extension (not in the
+	// paper; the eigenfaces "distance from face space" companion): for
+	// each p, an MHM is also anomalous when its reconstruction RMS
+	// exceeds the (1−p)-quantile of calibration residuals. This catches
+	// anomalies confined to cells with no training variance, which the
+	// projection alone cannot see. Empty disables the extension.
+	ResidualQuantiles []float64
+}
+
+func (c *Config) fill() error {
+	if c.GMM.Components == 0 {
+		c.GMM.Components = 5
+	}
+	if c.GMM.Restarts == 0 {
+		c.GMM.Restarts = 10
+	}
+	if len(c.Quantiles) == 0 {
+		c.Quantiles = []float64{0.005, 0.01}
+	}
+	for _, p := range c.Quantiles {
+		if p <= 0 || p >= 1 {
+			return fmt.Errorf("core: quantile %g out of (0,1): %w", p, ErrConfig)
+		}
+	}
+	for _, p := range c.ResidualQuantiles {
+		if p <= 0 || p >= 1 {
+			return fmt.Errorf("core: residual quantile %g out of (0,1): %w", p, ErrConfig)
+		}
+	}
+	return nil
+}
+
+// Threshold is one calibrated decision boundary: an MHM whose log
+// density falls below Theta is anomalous at expected false-positive
+// rate P.
+type Threshold struct {
+	P     float64 `json:"p"`
+	Theta float64 `json:"theta"`
+}
+
+// Detector is a trained memory-behaviour model.
+type Detector struct {
+	// Region is the heat-map definition the model expects.
+	Region heatmap.Def
+	// PCA holds the eigenmemories; GMM the mixture over reduced MHMs.
+	PCA *pca.Model
+	GMM *gmm.Model
+	// Thresholds are sorted by P ascending.
+	Thresholds []Threshold
+	// ResidualThresholds (sorted by P ascending) hold the residual
+	// extension's upper bounds: an MHM whose reconstruction RMS exceeds
+	// Theta is anomalous at expected false-positive rate P. Empty when
+	// the extension is disabled.
+	ResidualThresholds []Threshold
+}
+
+// Train learns a detector from a training set of normal MHMs and a
+// separate calibration set (also normal) used to place the θ_p
+// thresholds, mirroring the paper's two-phase §5.2 procedure.
+func Train(train, calib []*heatmap.HeatMap, cfg Config) (*Detector, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(train) < 2 {
+		return nil, fmt.Errorf("core: %d training MHMs: %w", len(train), ErrConfig)
+	}
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("core: empty calibration set: %w", ErrConfig)
+	}
+	region := train[0].Def
+	vectors := make([][]float64, len(train))
+	for i, m := range train {
+		if m.Def != region {
+			return nil, fmt.Errorf("core: training MHM %d: %w", i, ErrRegionMismatch)
+		}
+		vectors[i] = m.Vector()
+	}
+	pcaModel, err := pca.Train(vectors, cfg.PCA)
+	if err != nil {
+		return nil, fmt.Errorf("core: eigenmemory training: %w", err)
+	}
+	reduced, err := pcaModel.ProjectAll(vectors)
+	if err != nil {
+		return nil, err
+	}
+	gmmModel, err := gmm.Train(reduced, cfg.GMM)
+	if err != nil {
+		return nil, fmt.Errorf("core: GMM training: %w", err)
+	}
+
+	d := &Detector{Region: region, PCA: pcaModel, GMM: gmmModel}
+
+	// Calibrate thresholds on the held-out normal set.
+	densities := make([]float64, len(calib))
+	for i, m := range calib {
+		lp, err := d.LogDensity(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibration MHM %d: %w", i, err)
+		}
+		densities[i] = lp
+	}
+	for _, p := range cfg.Quantiles {
+		theta, err := stats.Quantile(densities, p)
+		if err != nil {
+			return nil, err
+		}
+		d.Thresholds = append(d.Thresholds, Threshold{P: p, Theta: theta})
+	}
+	sort.Slice(d.Thresholds, func(i, j int) bool { return d.Thresholds[i].P < d.Thresholds[j].P })
+
+	if len(cfg.ResidualQuantiles) > 0 {
+		residuals := make([]float64, len(calib))
+		for i, m := range calib {
+			r, err := d.Residual(m)
+			if err != nil {
+				return nil, fmt.Errorf("core: residual calibration MHM %d: %w", i, err)
+			}
+			residuals[i] = r
+		}
+		for _, p := range cfg.ResidualQuantiles {
+			theta, err := stats.Quantile(residuals, 1-p)
+			if err != nil {
+				return nil, err
+			}
+			d.ResidualThresholds = append(d.ResidualThresholds, Threshold{P: p, Theta: theta})
+		}
+		sort.Slice(d.ResidualThresholds, func(i, j int) bool {
+			return d.ResidualThresholds[i].P < d.ResidualThresholds[j].P
+		})
+	}
+	return d, nil
+}
+
+// Residual returns the MHM's reconstruction RMS error — its distance
+// from the learned memory subspace.
+func (d *Detector) Residual(m *heatmap.HeatMap) (float64, error) {
+	if m.Def != d.Region {
+		return 0, fmt.Errorf("core: got %+v, trained on %+v: %w", m.Def, d.Region, ErrRegionMismatch)
+	}
+	return d.PCA.ReconstructionError(m.Vector())
+}
+
+// ResidualThreshold returns the residual bound for a calibrated quantile.
+func (d *Detector) ResidualThreshold(p float64) (float64, error) {
+	for _, th := range d.ResidualThresholds {
+		if th.P == p {
+			return th.Theta, nil
+		}
+	}
+	return 0, fmt.Errorf("core: residual p=%g: %w", p, ErrUnknownQuantile)
+}
+
+// ClassifyWithResidual combines the paper's density test with the
+// residual extension: anomalous when the log density falls below θ_p OR
+// the reconstruction residual exceeds the residual bound at p.
+func (d *Detector) ClassifyWithResidual(m *heatmap.HeatMap, p float64) (anomalous bool, logDensity, residual float64, err error) {
+	theta, err := d.Threshold(p)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	rTheta, err := d.ResidualThreshold(p)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	lp, err := d.LogDensity(m)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	r, err := d.Residual(m)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	return lp < theta || r > rTheta, lp, r, nil
+}
+
+// Dim returns (L, L'), the original and reduced dimensionalities.
+func (d *Detector) Dim() (int, int) { return d.PCA.Dim() }
+
+// LogDensity scores one MHM: mean-shift, project onto the eigenmemories,
+// evaluate the mixture log density (the y-axis of the paper's Figs.
+// 7/8/10).
+func (d *Detector) LogDensity(m *heatmap.HeatMap) (float64, error) {
+	if m.Def != d.Region {
+		return 0, fmt.Errorf("core: got %+v, trained on %+v: %w", m.Def, d.Region, ErrRegionMismatch)
+	}
+	return d.LogDensityVector(m.Vector())
+}
+
+// LogDensityVector scores a raw MHM vector (length L).
+func (d *Detector) LogDensityVector(v []float64) (float64, error) {
+	w, err := d.PCA.Project(v)
+	if err != nil {
+		return 0, err
+	}
+	return d.GMM.LogProb(w)
+}
+
+// Threshold returns θ_p for a calibrated quantile.
+func (d *Detector) Threshold(p float64) (float64, error) {
+	for _, th := range d.Thresholds {
+		if th.P == p {
+			return th.Theta, nil
+		}
+	}
+	return 0, fmt.Errorf("core: p=%g: %w", p, ErrUnknownQuantile)
+}
+
+// Classify scores m and compares against θ_p: anomalous when the log
+// density falls below the threshold.
+func (d *Detector) Classify(m *heatmap.HeatMap, p float64) (anomalous bool, logDensity float64, err error) {
+	theta, err := d.Threshold(p)
+	if err != nil {
+		return false, 0, err
+	}
+	lp, err := d.LogDensity(m)
+	if err != nil {
+		return false, 0, err
+	}
+	return lp < theta, lp, nil
+}
+
+// Recalibrate re-derives the detector's thresholds (and residual
+// thresholds, when previously calibrated) from a fresh normal
+// calibration set, keeping the learned PCA/GMM models. This is the
+// cheap answer to threshold drift under legitimate behaviour change
+// (§5.5's false-positive concern): refresh θ_p in the field without
+// retraining.
+func (d *Detector) Recalibrate(calib []*heatmap.HeatMap) error {
+	if len(calib) == 0 {
+		return fmt.Errorf("core: empty recalibration set: %w", ErrConfig)
+	}
+	densities := make([]float64, len(calib))
+	for i, m := range calib {
+		lp, err := d.LogDensity(m)
+		if err != nil {
+			return fmt.Errorf("core: recalibration MHM %d: %w", i, err)
+		}
+		densities[i] = lp
+	}
+	newThresholds := make([]Threshold, len(d.Thresholds))
+	for i, th := range d.Thresholds {
+		theta, err := stats.Quantile(densities, th.P)
+		if err != nil {
+			return err
+		}
+		newThresholds[i] = Threshold{P: th.P, Theta: theta}
+	}
+	var newResidual []Threshold
+	if len(d.ResidualThresholds) > 0 {
+		residuals := make([]float64, len(calib))
+		for i, m := range calib {
+			r, err := d.Residual(m)
+			if err != nil {
+				return fmt.Errorf("core: recalibration residual %d: %w", i, err)
+			}
+			residuals[i] = r
+		}
+		newResidual = make([]Threshold, len(d.ResidualThresholds))
+		for i, th := range d.ResidualThresholds {
+			theta, err := stats.Quantile(residuals, 1-th.P)
+			if err != nil {
+				return err
+			}
+			newResidual[i] = Threshold{P: th.P, Theta: theta}
+		}
+	}
+	d.Thresholds = newThresholds
+	d.ResidualThresholds = newResidual
+	return nil
+}
+
+// Verdict is one interval's classification result.
+type Verdict struct {
+	Index      int
+	Start, End int64
+	LogDensity float64
+	// Anomalous maps quantile p -> decision.
+	Anomalous map[float64]bool
+}
+
+// ClassifySeries scores a sequence of MHMs against every calibrated
+// threshold — the secure core's per-interval loop.
+func (d *Detector) ClassifySeries(maps []*heatmap.HeatMap) ([]Verdict, error) {
+	out := make([]Verdict, len(maps))
+	for i, m := range maps {
+		lp, err := d.LogDensity(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: interval %d: %w", i, err)
+		}
+		v := Verdict{Index: i, Start: m.Start, End: m.End, LogDensity: lp,
+			Anomalous: make(map[float64]bool, len(d.Thresholds))}
+		for _, th := range d.Thresholds {
+			v.Anomalous[th.P] = lp < th.Theta
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// FalsePositiveRate counts the fraction of verdicts flagged at p —
+// meaningful when the series is known-normal.
+func FalsePositiveRate(verdicts []Verdict, p float64) float64 {
+	if len(verdicts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range verdicts {
+		if v.Anomalous[p] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(verdicts))
+}
+
+// detectorJSON is the persistence wrapper; the nested models use their
+// own serializations.
+type detectorJSON struct {
+	Region             heatmap.Def     `json:"region"`
+	PCA                json.RawMessage `json:"pca"`
+	GMM                json.RawMessage `json:"gmm"`
+	Thresholds         []Threshold     `json:"thresholds"`
+	ResidualThresholds []Threshold     `json:"residualThresholds,omitempty"`
+}
+
+// Save writes the full detector as JSON.
+func (d *Detector) Save(w io.Writer) error {
+	var pcaBuf, gmmBuf bytes.Buffer
+	if err := d.PCA.Save(&pcaBuf); err != nil {
+		return err
+	}
+	if err := d.GMM.Save(&gmmBuf); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(detectorJSON{
+		Region:             d.Region,
+		PCA:                json.RawMessage(pcaBuf.Bytes()),
+		GMM:                json.RawMessage(gmmBuf.Bytes()),
+		Thresholds:         d.Thresholds,
+		ResidualThresholds: d.ResidualThresholds,
+	})
+}
+
+// Load reads a detector produced by Save.
+func Load(r io.Reader) (*Detector, error) {
+	var dj detectorJSON
+	if err := json.NewDecoder(r).Decode(&dj); err != nil {
+		return nil, fmt.Errorf("core: decode detector: %w", err)
+	}
+	pcaModel, err := pca.Load(bytes.NewReader(dj.PCA))
+	if err != nil {
+		return nil, err
+	}
+	gmmModel, err := gmm.Load(bytes.NewReader(dj.GMM))
+	if err != nil {
+		return nil, err
+	}
+	if err := dj.Region.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		Region:             dj.Region,
+		PCA:                pcaModel,
+		GMM:                gmmModel,
+		Thresholds:         dj.Thresholds,
+		ResidualThresholds: dj.ResidualThresholds,
+	}, nil
+}

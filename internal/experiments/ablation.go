@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memheatmap/mhm/internal/attack"
+	"github.com/memheatmap/mhm/internal/baseline"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/pca"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// LPrimeRow is one row of the eigenmemory-count ablation.
+type LPrimeRow struct {
+	LPrime            int
+	VarianceExplained float64
+	// ReconRMS is the mean reconstruction RMS error on held-out normal
+	// MHMs.
+	ReconRMS float64
+	// FPRate is the flag rate on held-out normal data at θ1.
+	FPRate float64
+	// DetectRate is the post-launch flag rate at θ1 on the Fig. 7
+	// scenario.
+	DetectRate float64
+}
+
+// LPrimeSweepResult is ablation A1: how many eigenmemories are enough.
+type LPrimeSweepResult struct{ Rows []LPrimeRow }
+
+// String renders the table.
+func (r LPrimeSweepResult) String() string {
+	var b strings.Builder
+	b.WriteString("A1 — eigenmemory count (L') sweep\n")
+	b.WriteString("  L'  variance   reconRMS   FP@θ1    detect@θ1\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %2d  %8.5f  %9.2f  %6.3f  %9.3f\n",
+			row.LPrime, row.VarianceExplained, row.ReconRMS, row.FPRate, row.DetectRate)
+	}
+	return b.String()
+}
+
+// scenarioFlagRate returns the post-event flag rate at p for the Fig. 7
+// scenario run against det.
+func (l *Lab) scenarioFlagRate(det *core.Detector, noiseSeed int64, p float64) (float64, error) {
+	iv := l.Scale.IntervalMicros
+	launch := 100*iv + iv/2
+	sc := &attack.AppAddition{Spec: workload.QsortSpec(), LaunchAt: launch}
+	maps, err := l.RunScenario(sc, noiseSeed, 200*iv)
+	if err != nil {
+		return 0, err
+	}
+	verdicts, err := det.ClassifySeries(maps)
+	if err != nil {
+		return 0, err
+	}
+	flagged, n := 0, 0
+	for _, v := range verdicts {
+		if v.Index <= 100 {
+			continue
+		}
+		n++
+		if v.Anomalous[p] {
+			flagged++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: no post-launch intervals: %w", ErrExperiment)
+	}
+	return float64(flagged) / float64(n), nil
+}
+
+// LPrimeSweep trains detectors with fixed L' values and reports quality
+// versus compactness.
+func (l *Lab) LPrimeSweep(lprimes []int, seedBase int64) (*LPrimeSweepResult, error) {
+	res := &LPrimeSweepResult{}
+	holdout, err := l.CollectNormal(seedBase+77, l.Scale.CalibRunMicros)
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range lprimes {
+		lab := &Lab{Img: l.Img, Scale: l.Scale}
+		lab.Scale.PCAOptions = pca.Options{Components: lp}
+		det, _, err := lab.TrainDetector(seedBase)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: L'=%d: %w", lp, err)
+		}
+		verdicts, err := det.ClassifySeries(holdout)
+		if err != nil {
+			return nil, err
+		}
+		var recon float64
+		for _, m := range holdout {
+			e, err := det.PCA.ReconstructionError(m.Vector())
+			if err != nil {
+				return nil, err
+			}
+			recon += e
+		}
+		detect, err := lab.scenarioFlagRate(det, seedBase+88, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, LPrimeRow{
+			LPrime:            lp,
+			VarianceExplained: det.PCA.VarianceExplained(),
+			ReconRMS:          recon / float64(len(holdout)),
+			FPRate:            core.FalsePositiveRate(verdicts, 0.01),
+			DetectRate:        detect,
+		})
+	}
+	return res, nil
+}
+
+// JRow is one row of the GMM component-count ablation.
+type JRow struct {
+	J int
+	// AvgLogLikelihood is the mean training log-likelihood per MHM.
+	AvgLogLikelihood float64
+	FPRate           float64
+	DetectRate       float64
+}
+
+// JSweepResult is ablation A2: how many mixture components are enough.
+type JSweepResult struct{ Rows []JRow }
+
+// String renders the table.
+func (r JSweepResult) String() string {
+	var b strings.Builder
+	b.WriteString("A2 — GMM component count (J) sweep\n")
+	b.WriteString("   J  avgLL      FP@θ1    detect@θ1\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %2d  %9.3f  %6.3f  %9.3f\n", row.J, row.AvgLogLikelihood, row.FPRate, row.DetectRate)
+	}
+	return b.String()
+}
+
+// JSweep trains detectors with different J and reports fit and
+// detection quality.
+func (l *Lab) JSweep(js []int, seedBase int64) (*JSweepResult, error) {
+	res := &JSweepResult{}
+	holdout, err := l.CollectNormal(seedBase+77, l.Scale.CalibRunMicros)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range js {
+		lab := &Lab{Img: l.Img, Scale: l.Scale}
+		lab.Scale.GMMOptions = gmm.Options{Components: j, Restarts: l.Scale.GMMOptions.Restarts}
+		det, rep, err := lab.TrainDetector(seedBase)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: J=%d: %w", j, err)
+		}
+		verdicts, err := det.ClassifySeries(holdout)
+		if err != nil {
+			return nil, err
+		}
+		detect, err := lab.scenarioFlagRate(det, seedBase+88, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, JRow{
+			J:                j,
+			AvgLogLikelihood: rep.TrainLogLikelihood / float64(rep.TrainMHMs),
+			FPRate:           core.FalsePositiveRate(verdicts, 0.01),
+			DetectRate:       detect,
+		})
+	}
+	return res, nil
+}
+
+// GranRow is one row of the granularity ablation.
+type GranRow struct {
+	Gran       uint64
+	Cells      int
+	FPRate     float64
+	DetectRate float64
+}
+
+// GranSweepResult is ablation A3: cell granularity δ versus detection.
+type GranSweepResult struct{ Rows []GranRow }
+
+// String renders the table.
+func (r GranSweepResult) String() string {
+	var b strings.Builder
+	b.WriteString("A3 — granularity (δ) sweep\n")
+	b.WriteString("  δ(bytes)  cells  FP@θ1    detect@θ1\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %8d  %5d  %6.3f  %9.3f\n", row.Gran, row.Cells, row.FPRate, row.DetectRate)
+	}
+	return b.String()
+}
+
+// GranSweep varies δ; coarse maps are cheaper but blur service
+// footprints.
+func (l *Lab) GranSweep(grans []uint64, seedBase int64) (*GranSweepResult, error) {
+	res := &GranSweepResult{}
+	for _, g := range grans {
+		lab := &Lab{Img: l.Img, Scale: l.Scale}
+		lab.Scale.Gran = g
+		det, _, err := lab.TrainDetector(seedBase)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: δ=%d: %w", g, err)
+		}
+		holdout, err := lab.CollectNormal(seedBase+77, lab.Scale.CalibRunMicros)
+		if err != nil {
+			return nil, err
+		}
+		verdicts, err := det.ClassifySeries(holdout)
+		if err != nil {
+			return nil, err
+		}
+		detect, err := lab.scenarioFlagRate(det, seedBase+88, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		cells, _ := det.Dim()
+		res.Rows = append(res.Rows, GranRow{
+			Gran:       g,
+			Cells:      cells,
+			FPRate:     core.FalsePositiveRate(verdicts, 0.01),
+			DetectRate: detect,
+		})
+	}
+	return res, nil
+}
+
+// BaselineRow compares the detectors on one scenario.
+type BaselineRow struct {
+	Scenario string
+	// VolumeRate, EntropyRate and MHMRate are post-event flag rates of
+	// the volume baseline, the KL-distribution baseline (Gu et al.
+	// style) and the MHM detector.
+	VolumeRate, EntropyRate, MHMRate float64
+}
+
+// BaselineCompareResult is ablation A4: traffic-volume and
+// distribution-entropy monitoring versus memory heat maps across the
+// paper's three attack scenarios.
+type BaselineCompareResult struct{ Rows []BaselineRow }
+
+// String renders the table.
+func (r BaselineCompareResult) String() string {
+	var b strings.Builder
+	b.WriteString("A4 — baselines vs MHM detector (post-event flag rate)\n")
+	b.WriteString("  scenario       volume   entropy  MHM@θ1\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-13s  %6.3f  %7.3f  %7.3f\n", row.Scenario, row.VolumeRate, row.EntropyRate, row.MHMRate)
+	}
+	return b.String()
+}
+
+// BaselineCompare runs each scenario once and scores both detectors.
+func (l *Lab) BaselineCompare(det *core.Detector, seedBase int64) (*BaselineCompareResult, error) {
+	iv := l.Scale.IntervalMicros
+	eventIv := 100
+	eventAt := int64(eventIv)*iv + iv/2
+	scenarios := []attack.Scenario{
+		&attack.AppAddition{Spec: workload.QsortSpec(), LaunchAt: eventAt},
+		&attack.Shellcode{Host: "bitcount", InjectAt: eventAt},
+		&attack.RootkitLKM{LoadAt: eventAt},
+	}
+	normal, err := l.CollectNormal(seedBase+99, l.Scale.CalibRunMicros)
+	if err != nil {
+		return nil, err
+	}
+	vol, err := baseline.TrainVolume(normal, 3)
+	if err != nil {
+		return nil, err
+	}
+	ent, err := baseline.TrainEntropy(normal, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	res := &BaselineCompareResult{}
+	for i, sc := range scenarios {
+		maps, err := l.RunScenario(sc, seedBase+int64(10+i), 200*iv)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %s: %w", sc.Name(), err)
+		}
+		post := postEventMaps(maps, eventIv)
+		volFlags, _ := vol.ClassifySeries(post)
+		entFlags, _, err := ent.ClassifySeries(post)
+		if err != nil {
+			return nil, err
+		}
+		verdicts, err := det.ClassifySeries(post)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, BaselineRow{
+			Scenario:    sc.Name(),
+			VolumeRate:  rate(volFlags),
+			EntropyRate: rate(entFlags),
+			MHMRate:     core.FalsePositiveRate(verdicts, 0.01), // flag rate; data is post-event
+		})
+	}
+	return res, nil
+}
+
+func postEventMaps(maps []*heatmap.HeatMap, eventIv int) []*heatmap.HeatMap {
+	if eventIv+1 >= len(maps) {
+		return nil
+	}
+	return maps[eventIv+1:]
+}
+
+func rate(flags []bool) float64 {
+	if len(flags) == 0 {
+		return 0
+	}
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return float64(n) / float64(len(flags))
+}

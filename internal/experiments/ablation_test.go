@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLPrimeSweep(t *testing.T) {
+	lab, _, _ := quickLab(t)
+	r, err := lab.LPrimeSweep([]int{2, 4, 9}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// More eigenmemories: more variance, lower reconstruction error.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].VarianceExplained < r.Rows[i-1].VarianceExplained-1e-9 {
+			t.Errorf("variance not increasing: %+v", r.Rows)
+		}
+		if r.Rows[i].ReconRMS > r.Rows[i-1].ReconRMS+1e-9 {
+			t.Errorf("reconstruction error not decreasing: %+v", r.Rows)
+		}
+	}
+	// All configurations must detect the qsort scenario well.
+	for _, row := range r.Rows {
+		if row.FPRate > 0.15 {
+			t.Errorf("L'=%d: FP %.3f", row.LPrime, row.FPRate)
+		}
+	}
+	if best := r.Rows[len(r.Rows)-1]; best.DetectRate < 0.4 {
+		t.Errorf("L'=9 detect rate %.3f", best.DetectRate)
+	}
+	if !strings.Contains(r.String(), "A1") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestJSweep(t *testing.T) {
+	lab, _, _ := quickLab(t)
+	r, err := lab.JSweep([]int{1, 5}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// More components fit the multi-phase data at least as well.
+	if r.Rows[1].AvgLogLikelihood < r.Rows[0].AvgLogLikelihood-1e-6 {
+		t.Errorf("J=5 avg LL %.3f below J=1 %.3f", r.Rows[1].AvgLogLikelihood, r.Rows[0].AvgLogLikelihood)
+	}
+	for _, row := range r.Rows {
+		if row.FPRate > 0.15 {
+			t.Errorf("J=%d: FP %.3f", row.J, row.FPRate)
+		}
+	}
+	if !strings.Contains(r.String(), "A2") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestGranSweep(t *testing.T) {
+	lab, _, _ := quickLab(t)
+	r, err := lab.GranSweep([]uint64{2048, 8192}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0].Cells != 1472 || r.Rows[1].Cells != 368 {
+		t.Errorf("cells = %d/%d, want 1472/368", r.Rows[0].Cells, r.Rows[1].Cells)
+	}
+	for _, row := range r.Rows {
+		if row.FPRate > 0.15 {
+			t.Errorf("δ=%d: FP %.3f", row.Gran, row.FPRate)
+		}
+		if row.DetectRate < 0.3 {
+			t.Errorf("δ=%d: detect rate %.3f", row.Gran, row.DetectRate)
+		}
+	}
+	if !strings.Contains(r.String(), "A3") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestBaselineCompare(t *testing.T) {
+	lab, det, _ := quickLab(t)
+	r, err := lab.BaselineCompare(det, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]BaselineRow{}
+	for _, row := range r.Rows {
+		byName[row.Scenario] = row
+	}
+	// The paper's core contrast: the rootkit's steady state is invisible
+	// to volume monitoring but visible (at least partially) to the MHM
+	// detector.
+	rk := byName["rootkit-lkm"]
+	if rk.VolumeRate > 0.15 {
+		t.Errorf("volume detector flagged %.3f of rootkit steady state; should be nearly blind", rk.VolumeRate)
+	}
+	if rk.MHMRate <= rk.VolumeRate {
+		t.Errorf("MHM rate %.3f not above volume rate %.3f on rootkit", rk.MHMRate, rk.VolumeRate)
+	}
+	// App addition must be strongly detected by the MHM detector.
+	if byName["app-addition"].MHMRate < 0.4 {
+		t.Errorf("app-addition MHM rate %.3f", byName["app-addition"].MHMRate)
+	}
+	if !strings.Contains(r.String(), "A4") {
+		t.Error("rendering incomplete")
+	}
+}

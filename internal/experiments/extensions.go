@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memheatmap/mhm/internal/alarm"
+	"github.com/memheatmap/mhm/internal/attack"
+	"github.com/memheatmap/mhm/internal/baseline"
+	"github.com/memheatmap/mhm/internal/cache"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+	"github.com/memheatmap/mhm/internal/securecore"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// CacheRow compares one snoop-point placement.
+type CacheRow struct {
+	// Placement is "above-L1" (the paper's prototype) or "below-L1"
+	// (§5.5's scalable variant).
+	Placement string
+	// VisibleFraction is the share of fetches that reach the Memometer.
+	VisibleFraction float64
+	FPRate          float64
+	DetectRate      float64
+}
+
+// CachePlacementResult is extension experiment A5: does detection
+// survive monitoring only cache misses? (§5.5 conjectures yes.)
+type CachePlacementResult struct{ Rows []CacheRow }
+
+// String renders the table.
+func (r CachePlacementResult) String() string {
+	var b strings.Builder
+	b.WriteString("A5 — snoop-point placement (above vs below the L1 cache)\n")
+	b.WriteString("  placement  visible   FP@θ1    detect@θ1\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-9s  %7.4f  %6.3f  %9.3f\n",
+			row.Placement, row.VisibleFraction, row.FPRate, row.DetectRate)
+	}
+	return b.String()
+}
+
+// CachePlacement trains and evaluates detectors at both snoop points.
+func (l *Lab) CachePlacement(seedBase int64) (*CachePlacementResult, error) {
+	res := &CachePlacementResult{}
+	configs := []struct {
+		name  string
+		cache *cache.Config
+	}{
+		{"above-L1", nil},
+		{"below-L1", &cache.Config{SizeBytes: 32 * 1024, LineBytes: 32, Ways: 4}},
+	}
+	// Reference traffic for the visible-fraction column.
+	refLab := &Lab{Img: l.Img, Scale: l.Scale}
+	refLab.Scale.Cache = nil
+	refMaps, err := refLab.CollectNormal(seedBase+77, l.Scale.CalibRunMicros)
+	if err != nil {
+		return nil, err
+	}
+	var refTotal float64
+	for _, m := range refMaps {
+		refTotal += float64(m.Total())
+	}
+	for _, cfg := range configs {
+		lab := &Lab{Img: l.Img, Scale: l.Scale}
+		lab.Scale.Cache = cfg.cache
+		det, _, err := lab.TrainDetector(seedBase)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", cfg.name, err)
+		}
+		holdout, err := lab.CollectNormal(seedBase+77, lab.Scale.CalibRunMicros)
+		if err != nil {
+			return nil, err
+		}
+		verdicts, err := det.ClassifySeries(holdout)
+		if err != nil {
+			return nil, err
+		}
+		detect, err := lab.scenarioFlagRate(det, seedBase+88, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		var total float64
+		for _, m := range holdout {
+			total += float64(m.Total())
+		}
+		res.Rows = append(res.Rows, CacheRow{
+			Placement:       cfg.name,
+			VisibleFraction: total / refTotal,
+			FPRate:          core.FalsePositiveRate(verdicts, 0.01),
+			DetectRate:      detect,
+		})
+	}
+	return res, nil
+}
+
+// SMPResult is extension experiment A6: detection on a two-core SMP
+// system whose kernel activity merges into one shared heat map.
+type SMPResult struct {
+	Cores      int
+	TrainMHMs  int
+	FPRate     float64
+	DetectRate float64
+}
+
+// String renders the summary.
+func (r SMPResult) String() string {
+	return fmt.Sprintf("A6 — SMP monitoring (%d cores, shared MHM memory)\n"+
+		"  trained on %d MHMs; FP@θ1 %.3f; qsort-launch detect@θ1 %.3f\n",
+		r.Cores, r.TrainMHMs, r.FPRate, r.DetectRate)
+}
+
+// runSMP collects MHMs from a 2-core partitioned run (FFT+sha on core
+// 0, bitcount+basicmath on core 1); extraQsortAt > 0 launches qsort on
+// core 1 at that time.
+func (l *Lab) runSMP(noiseSeed, micros, extraQsortAt int64) ([]*heatmap.HeatMap, error) {
+	tasks, err := workload.PaperTaskSet(l.Img)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]*rtos.Task{}
+	for _, t := range tasks {
+		byName[t.Name] = t
+	}
+	coreTasks := [][]*rtos.Task{
+		{byName["FFT"], byName["sha"]},
+		{byName["bitcount"], byName["basicmath"]},
+	}
+	s, err := securecore.NewSMPSession(l.Img, coreTasks, l.sessionConfig(noiseSeed))
+	if err != nil {
+		return nil, err
+	}
+	if extraQsortAt > 0 {
+		qsort, err := workload.BuildTask(l.Img, workload.QsortSpec())
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Schedulers[1].AddTaskAt(extraQsortAt, qsort); err != nil {
+			return nil, err
+		}
+	}
+	return s.Run(micros)
+}
+
+// SMPDetection trains on normal two-core behaviour and detects a qsort
+// launch on core 1.
+func (l *Lab) SMPDetection(seedBase int64) (*SMPResult, error) {
+	var train []*heatmap.HeatMap
+	for run := 0; run < l.Scale.TrainRuns; run++ {
+		maps, err := l.runSMP(seedBase+int64(run), l.Scale.TrainRunMicros, 0)
+		if err != nil {
+			return nil, err
+		}
+		train = append(train, maps...)
+	}
+	calib, err := l.runSMP(seedBase+int64(l.Scale.TrainRuns), l.Scale.CalibRunMicros, 0)
+	if err != nil {
+		return nil, err
+	}
+	det, err := core.Train(train, calib, core.Config{
+		PCA:       l.Scale.PCAOptions,
+		GMM:       l.Scale.GMMOptions,
+		Quantiles: l.Scale.Quantiles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	holdout, err := l.runSMP(seedBase+50, l.Scale.CalibRunMicros, 0)
+	if err != nil {
+		return nil, err
+	}
+	hv, err := det.ClassifySeries(holdout)
+	if err != nil {
+		return nil, err
+	}
+	iv := l.Scale.IntervalMicros
+	launchIv := 100
+	attacked, err := l.runSMP(seedBase+60, 200*iv, int64(launchIv)*iv+iv/2)
+	if err != nil {
+		return nil, err
+	}
+	av, err := det.ClassifySeries(attacked)
+	if err != nil {
+		return nil, err
+	}
+	flagged, n := 0, 0
+	for _, v := range av {
+		if v.Index <= launchIv {
+			continue
+		}
+		n++
+		if v.Anomalous[0.01] {
+			flagged++
+		}
+	}
+	return &SMPResult{
+		Cores:      2,
+		TrainMHMs:  len(train),
+		FPRate:     core.FalsePositiveRate(hv, 0.01),
+		DetectRate: float64(flagged) / float64(max(1, n)),
+	}, nil
+}
+
+// AlarmRow is one scenario's debounced-alarm outcome.
+type AlarmRow struct {
+	Scenario    string
+	FalseRaises int
+	// LatencyMs is the detection latency in milliseconds (-1 = missed).
+	LatencyMs int64
+	Raises    int
+}
+
+// AlarmLatencyResult is extension experiment A7: operational alarms with
+// debouncing (raise after 2 consecutive abnormal intervals).
+type AlarmLatencyResult struct{ Rows []AlarmRow }
+
+// String renders the table.
+func (r AlarmLatencyResult) String() string {
+	var b strings.Builder
+	b.WriteString("A7 — debounced alarms (raise after 2, clear after 5)\n")
+	b.WriteString("  scenario           raises  falseRaises  latency(ms)\n")
+	for _, row := range r.Rows {
+		lat := "missed"
+		if row.LatencyMs >= 0 {
+			lat = fmt.Sprintf("%d", row.LatencyMs)
+		}
+		fmt.Fprintf(&b, "  %-17s  %6d  %11d  %11s\n", row.Scenario, row.Raises, row.FalseRaises, lat)
+	}
+	return b.String()
+}
+
+// AlarmLatency runs every scenario (the paper's three plus the two
+// extended ones) through the detector and the alarm runtime.
+func (l *Lab) AlarmLatency(det *core.Detector, seedBase int64) (*AlarmLatencyResult, error) {
+	iv := l.Scale.IntervalMicros
+	eventIv := 100
+	eventAt := int64(eventIv)*iv + iv/2
+	scenarios := []attack.Scenario{
+		&attack.AppAddition{Spec: workload.QsortSpec(), LaunchAt: eventAt},
+		&attack.Shellcode{Host: "bitcount", InjectAt: eventAt},
+		&attack.RootkitLKM{LoadAt: eventAt},
+		&attack.DataExfiltration{StartAt: eventAt},
+		&attack.ForkBomb{BurstAt: eventAt},
+	}
+	res := &AlarmLatencyResult{}
+	for i, sc := range scenarios {
+		maps, err := l.RunScenario(sc, seedBase+int64(i), 250*iv)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: alarm %s: %w", sc.Name(), err)
+		}
+		verdicts, err := det.ClassifySeries(maps)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := alarm.NewRuntime(alarm.Config{RaiseAfter: 2, ClearAfter: 5})
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range verdicts {
+			rt.Observe(v.Anomalous[0.01], v.End)
+		}
+		rep := rt.Analyze(eventIv)
+		lat := int64(-1)
+		if rep.DetectionLatencyIntervals >= 0 {
+			lat = int64(rep.DetectionLatencyIntervals) * iv / 1000
+		}
+		res.Rows = append(res.Rows, AlarmRow{
+			Scenario:    sc.Name(),
+			FalseRaises: rep.FalseRaises,
+			LatencyMs:   lat,
+			Raises:      rep.Raises,
+		})
+	}
+	return res, nil
+}
+
+// ExtendedRow scores one extended scenario for both detectors.
+type ExtendedRow struct {
+	Scenario            string
+	VolumeRate, MHMRate float64
+}
+
+// ExtendedScenariosResult covers the attacks beyond the paper's three.
+type ExtendedScenariosResult struct{ Rows []ExtendedRow }
+
+// String renders the table.
+func (r ExtendedScenariosResult) String() string {
+	var b strings.Builder
+	b.WriteString("E-ext — extended attack scenarios (post-event flag rate)\n")
+	b.WriteString("  scenario           volume   MHM@θ1\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-17s  %6.3f  %7.3f\n", row.Scenario, row.VolumeRate, row.MHMRate)
+	}
+	return b.String()
+}
+
+// ExtendedScenarios evaluates the data-exfiltration and fork-bomb
+// attacks against both detectors.
+func (l *Lab) ExtendedScenarios(det *core.Detector, seedBase int64) (*ExtendedScenariosResult, error) {
+	iv := l.Scale.IntervalMicros
+	eventIv := 100
+	eventAt := int64(eventIv)*iv + iv/2
+	scenarios := []attack.Scenario{
+		&attack.DataExfiltration{StartAt: eventAt},
+		&attack.ForkBomb{BurstAt: eventAt},
+	}
+	normal, err := l.CollectNormal(seedBase+99, l.Scale.CalibRunMicros)
+	if err != nil {
+		return nil, err
+	}
+	vol, err := baseline.TrainVolume(normal, 3)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtendedScenariosResult{}
+	for i, sc := range scenarios {
+		maps, err := l.RunScenario(sc, seedBase+int64(20+i), 200*iv)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", sc.Name(), err)
+		}
+		post := postEventMaps(maps, eventIv)
+		volFlags, _ := vol.ClassifySeries(post)
+		verdicts, err := det.ClassifySeries(post)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ExtendedRow{
+			Scenario:   sc.Name(),
+			VolumeRate: rate(volFlags),
+			MHMRate:    core.FalsePositiveRate(verdicts, 0.01),
+		})
+	}
+	return res, nil
+}

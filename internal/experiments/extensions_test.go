@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCachePlacement(t *testing.T) {
+	lab, _, _ := quickLab(t)
+	r, err := lab.CachePlacement(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	above, below := r.Rows[0], r.Rows[1]
+	if above.Placement != "above-L1" || below.Placement != "below-L1" {
+		t.Fatalf("placements = %+v", r.Rows)
+	}
+	// Above-L1 sees everything; below-L1 sees only misses.
+	if above.VisibleFraction < 0.99 {
+		t.Errorf("above-L1 visible fraction %.4f", above.VisibleFraction)
+	}
+	if below.VisibleFraction > 0.5 || below.VisibleFraction <= 0 {
+		t.Errorf("below-L1 visible fraction %.4f; expected heavy thinning", below.VisibleFraction)
+	}
+	// Both placements keep FP under control and detect the scenario —
+	// the §5.5 conjecture.
+	for _, row := range r.Rows {
+		if row.FPRate > 0.15 {
+			t.Errorf("%s: FP %.3f", row.Placement, row.FPRate)
+		}
+		if row.DetectRate < 0.3 {
+			t.Errorf("%s: detect rate %.3f", row.Placement, row.DetectRate)
+		}
+	}
+	if !strings.Contains(r.String(), "A5") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestSMPDetection(t *testing.T) {
+	lab, _, _ := quickLab(t)
+	r, err := lab.SMPDetection(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cores != 2 {
+		t.Errorf("cores = %d", r.Cores)
+	}
+	if r.TrainMHMs != 300 {
+		t.Errorf("train MHMs = %d, want 300 at quick scale", r.TrainMHMs)
+	}
+	if r.FPRate > 0.15 {
+		t.Errorf("SMP FP rate %.3f", r.FPRate)
+	}
+	if r.DetectRate < 0.3 {
+		t.Errorf("SMP detect rate %.3f", r.DetectRate)
+	}
+	if !strings.Contains(r.String(), "A6") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestAlarmLatency(t *testing.T) {
+	lab, det, _ := quickLab(t)
+	r, err := lab.AlarmLatency(det, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]AlarmRow{}
+	for _, row := range r.Rows {
+		byName[row.Scenario] = row
+	}
+	// The loud scenarios raise promptly.
+	for _, name := range []string{"app-addition", "fork-bomb"} {
+		row := byName[name]
+		if row.LatencyMs < 0 {
+			t.Errorf("%s: never raised", name)
+			continue
+		}
+		if row.LatencyMs > 300 {
+			t.Errorf("%s: latency %d ms", name, row.LatencyMs)
+		}
+	}
+	// Debouncing keeps pre-event false raises rare everywhere.
+	for _, row := range r.Rows {
+		if row.FalseRaises > 2 {
+			t.Errorf("%s: %d false raises", row.Scenario, row.FalseRaises)
+		}
+	}
+	if !strings.Contains(r.String(), "A7") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestExtendedScenarios(t *testing.T) {
+	lab, det, _ := quickLab(t)
+	r, err := lab.ExtendedScenarios(det, 7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]ExtendedRow{}
+	for _, row := range r.Rows {
+		byName[row.Scenario] = row
+	}
+	// Exfiltration is volume-stealthy: the volume detector stays nearly
+	// blind while the MHM detector sees the mix change.
+	ex := byName["data-exfiltration"]
+	if ex.VolumeRate > 0.15 {
+		t.Errorf("volume detector flagged %.3f of exfiltration; should be nearly blind", ex.VolumeRate)
+	}
+	if ex.MHMRate <= ex.VolumeRate {
+		t.Errorf("MHM rate %.3f not above volume rate %.3f on exfiltration", ex.MHMRate, ex.VolumeRate)
+	}
+	if !strings.Contains(r.String(), "E-ext") {
+		t.Error("rendering incomplete")
+	}
+}

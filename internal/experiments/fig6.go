@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memheatmap/mhm/internal/pca"
+)
+
+// Fig6Result reproduces Fig. 6: the dimensionality reduction of one MHM
+// onto 16 eigenmemories — the weight vector that *is* the reduced MHM.
+type Fig6Result struct {
+	// L and LPrime are the original and reduced dimensionalities
+	// (paper: 1,472 → 16 in the example).
+	L, LPrime int
+	// Weights is the reduced MHM M'_n = uᵀΦ_n of the example sample.
+	Weights []float64
+	// EigenvalueShare is each eigenmemory's share of the total variance.
+	EigenvalueShare []float64
+	// ReconRMS is the RMS error of reconstructing the example from the
+	// 16 weights.
+	ReconRMS float64
+}
+
+// String renders the weight table.
+func (r Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — dimensionality reduction example (L=%d → L'=%d)\n", r.L, r.LPrime)
+	b.WriteString("  j   weight w_n,j   eigenvalue share\n")
+	for j, w := range r.Weights {
+		fmt.Fprintf(&b, "  %2d  %12.2f  %16.5f\n", j+1, w, r.EigenvalueShare[j])
+	}
+	fmt.Fprintf(&b, "  reconstruction RMS error: %.2f accesses/cell\n", r.ReconRMS)
+	return b.String()
+}
+
+// Fig6 trains a 16-eigenmemory basis on normal MHMs and reduces one
+// fresh sample, as in the paper's worked example.
+func (l *Lab) Fig6(seedBase int64) (*Fig6Result, error) {
+	const lprime = 16
+	var train [][]float64
+	for run := 0; run < l.Scale.TrainRuns; run++ {
+		maps, err := l.CollectNormal(seedBase+int64(run), l.Scale.TrainRunMicros)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range maps {
+			train = append(train, m.Vector())
+		}
+	}
+	if len(train) <= lprime {
+		return nil, fmt.Errorf("experiments: fig6: %d samples for %d eigenmemories: %w",
+			len(train), lprime, ErrExperiment)
+	}
+	model, err := pca.Train(train, pca.Options{Components: lprime})
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := l.CollectNormal(seedBase+1000, 20*l.Scale.IntervalMicros)
+	if err != nil {
+		return nil, err
+	}
+	if len(fresh) == 0 {
+		return nil, fmt.Errorf("experiments: fig6: no fresh sample: %w", ErrExperiment)
+	}
+	example := fresh[len(fresh)-1].Vector()
+	weights, err := model.Project(example)
+	if err != nil {
+		return nil, err
+	}
+	recon, err := model.ReconstructionError(example)
+	if err != nil {
+		return nil, err
+	}
+	shares := make([]float64, lprime)
+	for j, v := range model.Values {
+		if model.TotalVariance > 0 {
+			shares[j] = v / model.TotalVariance
+		}
+	}
+	lDim, _ := model.Dim()
+	return &Fig6Result{
+		L:               lDim,
+		LPrime:          lprime,
+		Weights:         weights,
+		EigenvalueShare: shares,
+		ReconRMS:        recon,
+	}, nil
+}

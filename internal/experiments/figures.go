@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memheatmap/mhm/internal/attack"
+	"github.com/memheatmap/mhm/internal/baseline"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// Fig1Result reproduces Fig. 1: an example MHM of the kernel .text
+// segment measured for one 10 ms interval, with its parameter table.
+type Fig1Result struct {
+	AddrBase   uint64
+	RegionSize uint64
+	Gran       uint64
+	Cells      int
+	Interval   int64
+	Total      uint64
+	Rendered   string
+	Map        *heatmap.HeatMap
+}
+
+// String renders the parameter table and the ASCII heat map.
+func (r Fig1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1 — example memory heat map (one %d ms interval)\n", r.Interval/1000)
+	fmt.Fprintf(&b, "  AddrBase            %#x\n", r.AddrBase)
+	fmt.Fprintf(&b, "  Memory Region Size  %d Bytes\n", r.RegionSize)
+	fmt.Fprintf(&b, "  Granularity         %d Bytes\n", r.Gran)
+	fmt.Fprintf(&b, "  # Cells             %d\n", r.Cells)
+	fmt.Fprintf(&b, "  Total accesses      %d\n", r.Total)
+	b.WriteString(r.Rendered)
+	return b.String()
+}
+
+// Fig1 captures a representative normal interval (the 6th, past the
+// startup transient) and renders it.
+func (l *Lab) Fig1(noiseSeed int64) (*Fig1Result, error) {
+	maps, err := l.CollectNormal(noiseSeed, 6*l.Scale.IntervalMicros)
+	if err != nil {
+		return nil, err
+	}
+	if len(maps) < 6 {
+		return nil, fmt.Errorf("experiments: fig1: only %d intervals: %w", len(maps), ErrExperiment)
+	}
+	m := maps[5]
+	return &Fig1Result{
+		AddrBase:   m.Def.AddrBase,
+		RegionSize: m.Def.Size,
+		Gran:       m.Def.Gran,
+		Cells:      len(m.Counts),
+		Interval:   l.Scale.IntervalMicros,
+		Total:      m.Total(),
+		Rendered:   m.Render(92),
+		Map:        m,
+	}, nil
+}
+
+// DetectionResult is the common shape of Figs. 7, 8 and 10: a log
+// probability density series with injection markers and per-threshold
+// detection statistics.
+type DetectionResult struct {
+	Scenario string
+	// EventInterval is the first interval at/after the injection;
+	// ExitInterval marks scenario end events (Fig. 7's qsort exit), -1
+	// when absent.
+	EventInterval, ExitInterval int
+	Verdicts                    []core.Verdict
+	Thresholds                  []core.Threshold
+	// PreFP counts flagged intervals before the event per quantile (the
+	// false positives); PostFlagged counts flagged intervals from the
+	// event on.
+	PreFP, PostFlagged  map[float64]int
+	PreCount, PostCount int
+}
+
+// analyze fills the detection statistics.
+func analyze(name string, verdicts []core.Verdict, thresholds []core.Threshold, eventInterval, exitInterval int) *DetectionResult {
+	r := &DetectionResult{
+		Scenario:      name,
+		EventInterval: eventInterval,
+		ExitInterval:  exitInterval,
+		Verdicts:      verdicts,
+		Thresholds:    thresholds,
+		PreFP:         map[float64]int{},
+		PostFlagged:   map[float64]int{},
+	}
+	for _, v := range verdicts {
+		pre := v.Index < eventInterval
+		if pre {
+			r.PreCount++
+		} else {
+			r.PostCount++
+		}
+		for p, anom := range v.Anomalous {
+			if !anom {
+				continue
+			}
+			if pre {
+				r.PreFP[p]++
+			} else {
+				r.PostFlagged[p]++
+			}
+		}
+	}
+	return r
+}
+
+// String renders the summary and a downsampled density series.
+func (r *DetectionResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: event at interval %d", r.Scenario, r.EventInterval)
+	if r.ExitInterval >= 0 {
+		fmt.Fprintf(&b, ", exit at %d", r.ExitInterval)
+	}
+	fmt.Fprintf(&b, "; %d intervals total\n", len(r.Verdicts))
+	for _, th := range r.Thresholds {
+		fmt.Fprintf(&b, "  θ%g=%.2f: pre-event flagged %d/%d (FP %.2f%%), post-event flagged %d/%d (%.1f%%)\n",
+			th.P*100, th.Theta,
+			r.PreFP[th.P], r.PreCount, 100*float64(r.PreFP[th.P])/float64(max(1, r.PreCount)),
+			r.PostFlagged[th.P], r.PostCount, 100*float64(r.PostFlagged[th.P])/float64(max(1, r.PostCount)))
+	}
+	b.WriteString("  interval,logDensity\n")
+	step := len(r.Verdicts) / 50
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Verdicts); i += step {
+		fmt.Fprintf(&b, "  %d,%.2f\n", r.Verdicts[i].Index, r.Verdicts[i].LogDensity)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MeanDensity returns the average log density over [lo, hi) interval
+// indices, clamped to the series.
+func (r *DetectionResult) MeanDensity(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r.Verdicts) {
+		hi = len(r.Verdicts)
+	}
+	if hi <= lo {
+		return 0
+	}
+	s := 0.0
+	for _, v := range r.Verdicts[lo:hi] {
+		s += v.LogDensity
+	}
+	return s / float64(hi-lo)
+}
+
+// Fig7 reproduces the application addition/deletion experiment: 500
+// intervals, qsort (6 ms / 30 ms) launched shortly after interval 250
+// and exited near interval 440.
+func (l *Lab) Fig7(det *core.Detector, noiseSeed int64) (*DetectionResult, error) {
+	iv := l.Scale.IntervalMicros
+	launch := 250*iv + iv/2
+	exit := 440*iv + iv/2
+	sc := &attack.AppAddition{Spec: workload.QsortSpec(), LaunchAt: launch, ExitAt: exit}
+	maps, err := l.RunScenario(sc, noiseSeed, 500*iv)
+	if err != nil {
+		return nil, err
+	}
+	verdicts, err := det.ClassifySeries(maps)
+	if err != nil {
+		return nil, err
+	}
+	return analyze("Fig. 7 — application addition/deletion (qsort)", verdicts, det.Thresholds, 250, 440), nil
+}
+
+// Fig8 reproduces the shellcode experiment: 400 intervals, a payload in
+// bitcount fires shortly after interval 250 (disables ASLR, spawns a
+// shell, kills the host).
+func (l *Lab) Fig8(det *core.Detector, noiseSeed int64) (*DetectionResult, error) {
+	iv := l.Scale.IntervalMicros
+	inject := 250*iv + iv/2
+	sc := &attack.Shellcode{Host: "bitcount", InjectAt: inject}
+	maps, err := l.RunScenario(sc, noiseSeed, 400*iv)
+	if err != nil {
+		return nil, err
+	}
+	verdicts, err := det.ClassifySeries(maps)
+	if err != nil {
+		return nil, err
+	}
+	return analyze("Fig. 8 — shellcode execution (disable ASLR)", verdicts, det.Thresholds, 250, -1), nil
+}
+
+// Fig9Result is the rootkit traffic-volume series: loading is visible,
+// the steady state is not.
+type Fig9Result struct {
+	LoadInterval int
+	Totals       []uint64
+	// Flags are the volume detector's verdicts (mean ± 3σ band trained on
+	// the pre-load prefix).
+	Flags []bool
+	// SpikeRatio is load-interval traffic over normal mean; SteadyRatio
+	// compares post-load steady-state mean to pre-load mean.
+	SpikeRatio, SteadyRatio float64
+}
+
+// String renders the summary and a downsampled volume series.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9 — rootkit memory traffic volume: load at interval %d\n", r.LoadInterval)
+	fmt.Fprintf(&b, "  load spike ratio %.2fx, steady-state ratio %.4fx (≈1 means the hijack is invisible in volume)\n",
+		r.SpikeRatio, r.SteadyRatio)
+	flagged := 0
+	postFlagged := 0
+	for i, f := range r.Flags {
+		if f {
+			flagged++
+			if i > r.LoadInterval+2 {
+				postFlagged++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  volume detector: %d intervals flagged total, %d in post-load steady state\n", flagged, postFlagged)
+	b.WriteString("  interval,totalAccesses\n")
+	step := len(r.Totals) / 50
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Totals); i += step {
+		fmt.Fprintf(&b, "  %d,%d\n", i, r.Totals[i])
+	}
+	return b.String()
+}
+
+// rootkitScenario builds the Fig. 9/10 scenario at the paper-like load
+// point (~interval 150).
+func (l *Lab) rootkitScenario() (*attack.RootkitLKM, int) {
+	iv := l.Scale.IntervalMicros
+	loadInterval := 150
+	return &attack.RootkitLKM{LoadAt: int64(loadInterval)*iv + iv/2}, loadInterval
+}
+
+// Fig9 reproduces the traffic-volume view of the rootkit run.
+func (l *Lab) Fig9(noiseSeed int64) (*Fig9Result, error) {
+	iv := l.Scale.IntervalMicros
+	sc, loadInterval := l.rootkitScenario()
+	maps, err := l.RunScenario(sc, noiseSeed, 400*iv)
+	if err != nil {
+		return nil, err
+	}
+	if len(maps) <= loadInterval+10 {
+		return nil, fmt.Errorf("experiments: fig9: only %d intervals: %w", len(maps), ErrExperiment)
+	}
+	vol, err := baseline.TrainVolume(maps[:loadInterval], 3)
+	if err != nil {
+		return nil, err
+	}
+	flags, totals := vol.ClassifySeries(maps)
+
+	var pre, steady float64
+	for i := 0; i < loadInterval; i++ {
+		pre += float64(totals[i])
+	}
+	pre /= float64(loadInterval)
+	n := 0
+	for i := loadInterval + 5; i < len(totals); i++ {
+		steady += float64(totals[i])
+		n++
+	}
+	steady /= float64(n)
+	return &Fig9Result{
+		LoadInterval: loadInterval,
+		Totals:       totals,
+		Flags:        flags,
+		SpikeRatio:   float64(totals[loadInterval]) / pre,
+		SteadyRatio:  steady / pre,
+	}, nil
+}
+
+// Fig10 reproduces the MHM-detector view of the same rootkit run.
+func (l *Lab) Fig10(det *core.Detector, noiseSeed int64) (*DetectionResult, error) {
+	iv := l.Scale.IntervalMicros
+	sc, loadInterval := l.rootkitScenario()
+	maps, err := l.RunScenario(sc, noiseSeed, 400*iv)
+	if err != nil {
+		return nil, err
+	}
+	verdicts, err := det.ClassifySeries(maps)
+	if err != nil {
+		return nil, err
+	}
+	return analyze("Fig. 10 — rootkit read-hijack (MHM detector)", verdicts, det.Thresholds, loadInterval, -1), nil
+}
+
+// ShaPhaseHistogram counts flagged post-event intervals by schedule
+// phase (interval index mod hyperperiod intervals); the paper observes
+// Fig. 10's anomalies synchronize with sha's 100 ms period.
+func ShaPhaseHistogram(r *DetectionResult, p float64, hyperIntervals int) []int {
+	hist := make([]int, hyperIntervals)
+	for _, v := range r.Verdicts {
+		if v.Index <= r.EventInterval {
+			continue
+		}
+		if v.Anomalous[p] {
+			hist[v.Index%hyperIntervals]++
+		}
+	}
+	return hist
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/memheatmap/mhm/internal/plot"
+)
+
+// Plot renders the log-density series as an ASCII chart with the
+// calibrated thresholds and the event markers — the visual form of the
+// paper's Figs. 7, 8 and 10.
+func (r *DetectionResult) Plot(width, height int) (string, error) {
+	ys := make([]float64, len(r.Verdicts))
+	for i, v := range r.Verdicts {
+		ys[i] = v.LogDensity
+	}
+	hlines := map[string]float64{}
+	for _, th := range r.Thresholds {
+		hlines[fmt.Sprintf("θ%g", th.P*100)] = th.Theta
+	}
+	marks := map[string]int{"event": r.EventInterval}
+	if r.ExitInterval >= 0 {
+		marks["exit"] = r.ExitInterval
+	}
+	return plot.Line(ys, plot.Options{
+		Width:  width,
+		Height: height,
+		Title:  r.Scenario,
+		HLines: hlines,
+		Marks:  marks,
+		YLabel: "log Pr(M)",
+	})
+}
+
+// Plot renders the traffic-volume series — the visual form of Fig. 9.
+func (r *Fig9Result) Plot(width, height int) (string, error) {
+	ys := make([]float64, len(r.Totals))
+	for i, v := range r.Totals {
+		ys[i] = float64(v)
+	}
+	return plot.Line(ys, plot.Options{
+		Width:   width,
+		Height:  height,
+		Title:   "Fig. 9 — rootkit memory traffic volume",
+		Marks:   map[string]int{"insmod": r.LoadInterval},
+		YLabel:  "accesses",
+		KeepMax: true, // the insmod spike is the signal
+	})
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/memheatmap/mhm/internal/attack"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/stats"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// ROCPoint is one operating point of the detector.
+type ROCPoint struct {
+	// P is the calibration quantile; Theta the resulting threshold.
+	P     float64
+	Theta float64
+	// FPR is the flag rate on held-out normal intervals; TPR the flag
+	// rate on post-event attack intervals.
+	FPR, TPR float64
+}
+
+// ROCResult sweeps the θ_p threshold to characterize the detection
+// operating curve on the qsort-launch scenario — evaluation breadth the
+// paper's fixed θ0.5/θ1 snapshots only sample.
+type ROCResult struct {
+	Scenario string
+	Points   []ROCPoint
+}
+
+// String renders the curve.
+func (r ROCResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A8 — ROC sweep over θ_p (%s)\n", r.Scenario)
+	b.WriteString("  p(%)     θ          FPR      TPR\n")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "  %6.2f  %9.2f  %6.4f  %6.4f\n", pt.P*100, pt.Theta, pt.FPR, pt.TPR)
+	}
+	return b.String()
+}
+
+// ROC computes the curve: thresholds are the p-quantiles of calibration
+// densities; each is evaluated on fresh normal data (FPR) and on the
+// post-launch portion of an app-addition run (TPR).
+func (l *Lab) ROC(det *core.Detector, seedBase int64, ps []float64) (*ROCResult, error) {
+	if len(ps) == 0 {
+		ps = []float64{0.001, 0.0025, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
+	}
+	calib, err := l.CollectNormal(seedBase+1, l.Scale.CalibRunMicros)
+	if err != nil {
+		return nil, err
+	}
+	calibDens := make([]float64, len(calib))
+	for i, m := range calib {
+		if calibDens[i], err = det.LogDensity(m); err != nil {
+			return nil, err
+		}
+	}
+	normal, err := l.CollectNormal(seedBase+2, l.Scale.CalibRunMicros)
+	if err != nil {
+		return nil, err
+	}
+	normDens := make([]float64, len(normal))
+	for i, m := range normal {
+		if normDens[i], err = det.LogDensity(m); err != nil {
+			return nil, err
+		}
+	}
+	iv := l.Scale.IntervalMicros
+	launchIv := 100
+	sc := &attack.AppAddition{Spec: workload.QsortSpec(), LaunchAt: int64(launchIv)*iv + iv/2}
+	attacked, err := l.RunScenario(sc, seedBase+3, 250*iv)
+	if err != nil {
+		return nil, err
+	}
+	var attackDens []float64
+	for i, m := range attacked {
+		if i <= launchIv {
+			continue
+		}
+		d, err := det.LogDensity(m)
+		if err != nil {
+			return nil, err
+		}
+		attackDens = append(attackDens, d)
+	}
+
+	res := &ROCResult{Scenario: sc.Name()}
+	for _, p := range ps {
+		theta, err := stats.Quantile(calibDens, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, ROCPoint{
+			P:     p,
+			Theta: theta,
+			FPR:   flagRateBelow(normDens, theta),
+			TPR:   flagRateBelow(attackDens, theta),
+		})
+	}
+	return res, nil
+}
+
+func flagRateBelow(densities []float64, theta float64) float64 {
+	if len(densities) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range densities {
+		if d < theta {
+			n++
+		}
+	}
+	return float64(n) / float64(len(densities))
+}
+
+// AutoJResult is extension experiment A9: BIC-driven selection of the
+// GMM component count on the real reduced MHMs (the paper picks J = 5
+// manually and cites Figueiredo & Jain for automating it).
+type AutoJResult struct {
+	SelectedJ int
+	Sweep     []gmm.Selection
+}
+
+// String renders the sweep.
+func (r AutoJResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A9 — automatic GMM order selection by BIC (selected J=%d)\n", r.SelectedJ)
+	b.WriteString("   J  logLikelihood   params       BIC\n")
+	for _, s := range r.Sweep {
+		fmt.Fprintf(&b, "  %2d  %13.1f  %7d  %10.1f\n", s.J, s.LogLikelihood, s.Params, s.BIC)
+	}
+	return b.String()
+}
+
+// AutoJ reduces a normal training set with the lab's PCA settings and
+// sweeps J by BIC.
+func (l *Lab) AutoJ(seedBase int64, minJ, maxJ int) (*AutoJResult, error) {
+	det, _, err := l.TrainDetector(seedBase)
+	if err != nil {
+		return nil, err
+	}
+	maps, err := l.CollectNormal(seedBase+42, l.Scale.TrainRunMicros)
+	if err != nil {
+		return nil, err
+	}
+	reduced := make([][]float64, len(maps))
+	for i, m := range maps {
+		if reduced[i], err = det.PCA.Project(m.Vector()); err != nil {
+			return nil, err
+		}
+	}
+	opts := l.Scale.GMMOptions
+	best, sweep, err := gmm.TrainAuto(reduced, minJ, maxJ, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoJResult{SelectedJ: len(best.Components), Sweep: sweep}, nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestROCSweep(t *testing.T) {
+	lab, det, _ := quickLab(t)
+	r, err := lab.ROC(det, 8000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 8 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for i, pt := range r.Points {
+		if pt.FPR < 0 || pt.FPR > 1 || pt.TPR < 0 || pt.TPR > 1 {
+			t.Errorf("point %d out of range: %+v", i, pt)
+		}
+		if i > 0 {
+			prev := r.Points[i-1]
+			// Thresholds and rates are monotone in p.
+			if pt.Theta < prev.Theta-1e-9 {
+				t.Errorf("θ not monotone at p=%g", pt.P)
+			}
+			if pt.FPR < prev.FPR-1e-9 || pt.TPR < prev.TPR-1e-9 {
+				t.Errorf("rates not monotone at p=%g", pt.P)
+			}
+		}
+	}
+	// The detector must beat chance decisively somewhere on the curve:
+	// at the largest p, TPR far above FPR.
+	last := r.Points[len(r.Points)-1]
+	if last.TPR < last.FPR+0.3 {
+		t.Errorf("weak operating point: TPR %.3f vs FPR %.3f", last.TPR, last.FPR)
+	}
+	if !strings.Contains(r.String(), "A8") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestAutoJ(t *testing.T) {
+	lab, _, _ := quickLab(t)
+	r, err := lab.AutoJ(9100, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SelectedJ < 1 || r.SelectedJ > 6 {
+		t.Errorf("selected J=%d", r.SelectedJ)
+	}
+	if len(r.Sweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// BIC of the selected J is the sweep minimum.
+	best := r.Sweep[0].BIC
+	for _, s := range r.Sweep {
+		if s.BIC < best {
+			best = s.BIC
+		}
+	}
+	for _, s := range r.Sweep {
+		if s.J == r.SelectedJ && s.BIC != best {
+			t.Errorf("selected J=%d BIC %.1f != minimum %.1f", s.J, s.BIC, best)
+		}
+	}
+	if !strings.Contains(r.String(), "A9") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFigurePlots(t *testing.T) {
+	lab, det, _ := quickLab(t)
+	r, err := lab.Fig7(det, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := r.Plot(70, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "event at x=250") || !strings.Contains(chart, "exit at x=440") {
+		t.Errorf("Fig7 plot missing marks:\n%s", chart)
+	}
+	if !strings.Contains(chart, "θ1") {
+		t.Errorf("Fig7 plot missing threshold:\n%s", chart)
+	}
+	f9, err := lab.Fig9(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart9, err := f9.Plot(70, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart9, "insmod at x=150") {
+		t.Errorf("Fig9 plot missing mark:\n%s", chart9)
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	lab, _, _ := quickLab(t)
+	r, err := lab.Generalize(9500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Utilization < 0.69 || r.Utilization > 0.71 {
+		t.Errorf("utilization = %g", r.Utilization)
+	}
+	if r.TrainMHMs != 300 {
+		t.Errorf("train MHMs = %d", r.TrainMHMs)
+	}
+	if r.FPRate > 0.15 {
+		t.Errorf("alternate-workload FP %.3f", r.FPRate)
+	}
+	if r.DetectRate < 0.3 {
+		t.Errorf("alternate-workload detect rate %.3f", r.DetectRate)
+	}
+	if !strings.Contains(r.String(), "A10") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestMultiRegion(t *testing.T) {
+	lab, det, _ := quickLab(t)
+	r, err := lab.MultiRegion(det, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ModulePreAccesses != 0 {
+		t.Errorf("module area touched before the load: %d accesses", r.ModulePreAccesses)
+	}
+	// The paper's limitation (iv): the .text view is intermittent...
+	if r.TextPostRate <= 0.05 || r.TextPostRate >= 0.9 {
+		t.Errorf(".text post-load rate %.3f; expected intermittent detection", r.TextPostRate)
+	}
+	// ...the module watch is near-continuous (the hook runs on every
+	// read, and reads happen in almost every interval).
+	if r.ModulePostRate < 0.9 {
+		t.Errorf("module-watch rate %.3f; hook execution should be visible almost every interval", r.ModulePostRate)
+	}
+	if r.ModulePostRate <= r.TextPostRate {
+		t.Errorf("module watch %.3f not above .text view %.3f", r.ModulePostRate, r.TextPostRate)
+	}
+	if !strings.Contains(r.String(), "A11") {
+		t.Error("rendering incomplete")
+	}
+}

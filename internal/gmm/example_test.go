@@ -1,0 +1,34 @@
+package gmm_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/memheatmap/mhm/internal/gmm"
+)
+
+// Example fits a two-component mixture and shows that a far-away point
+// scores a much lower log density than the training data — the paper's
+// detection criterion.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	var data [][]float64
+	for i := 0; i < 400; i++ {
+		cx, cy := 0.0, 0.0
+		if i%2 == 1 {
+			cx, cy = 10, 10
+		}
+		data = append(data, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+	}
+	model, err := gmm.Train(data, gmm.Options{Components: 2, Restarts: 3, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	normal, _ := model.LogProb(data[0])
+	anomaly, _ := model.LogProb([]float64{50, -50})
+	fmt.Println("components:", len(model.Components))
+	fmt.Println("normal scores higher:", normal > anomaly)
+	// Output:
+	// components: 2
+	// normal scores higher: true
+}

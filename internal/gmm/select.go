@@ -1,0 +1,69 @@
+package gmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper picks J manually and cites Figueiredo & Jain for automatic
+// selection. This file provides the standard information-criterion
+// route: fit a range of J values and keep the model minimizing BIC
+// (Bayesian Information Criterion), which penalizes the parameter count
+// k·(1 + D + D(D+1)/2) − 1 of a full-covariance mixture.
+
+// Selection reports one candidate of TrainAuto's sweep.
+type Selection struct {
+	J             int
+	LogLikelihood float64
+	Params        int
+	BIC           float64
+}
+
+// numParams returns the free-parameter count of a J-component,
+// D-dimensional full-covariance mixture.
+func numParams(j, d int) int {
+	perComp := 1 + d + d*(d+1)/2 // weight + mean + covariance
+	return j*perComp - 1         // weights sum to 1
+}
+
+// TrainAuto fits mixtures for every J in [minJ, maxJ] and returns the
+// model with the lowest BIC, plus the full sweep for reporting. Options'
+// Components field is ignored.
+func TrainAuto(data [][]float64, minJ, maxJ int, opts Options) (*Model, []Selection, error) {
+	if minJ < 1 || maxJ < minJ {
+		return nil, nil, fmt.Errorf("gmm: TrainAuto range [%d, %d]: %w", minJ, maxJ, ErrTraining)
+	}
+	n := len(data)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("gmm: empty training set: %w", ErrTraining)
+	}
+	d := len(data[0])
+	var best *Model
+	bestBIC := math.Inf(1)
+	var sweep []Selection
+	var lastErr error
+	for j := minJ; j <= maxJ && j <= n; j++ {
+		o := opts
+		o.Components = j
+		m, err := Train(data, o)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ll, err := m.TotalLogLikelihood(data)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		p := numParams(j, d)
+		bic := -2*ll + float64(p)*math.Log(float64(n))
+		sweep = append(sweep, Selection{J: j, LogLikelihood: ll, Params: p, BIC: bic})
+		if bic < bestBIC {
+			best, bestBIC = m, bic
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("gmm: TrainAuto found no viable model: %w", lastErr)
+	}
+	return best, sweep, nil
+}

@@ -1,0 +1,82 @@
+package gmm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestTrainAutoRecoversTrueComponentCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	centers := [][]float64{{0, 0}, {15, 0}, {0, 15}}
+	data, _ := sampleMixture(rng, 900, centers, 1)
+	m, sweep, err := TrainAuto(data, 1, 6, Options{Restarts: 3, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Components); got != 3 {
+		t.Errorf("BIC selected J=%d, want 3; sweep: %+v", got, sweep)
+	}
+	if len(sweep) != 6 {
+		t.Errorf("sweep covered %d candidates", len(sweep))
+	}
+	// Log-likelihood is non-decreasing in J on the training data.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].LogLikelihood < sweep[i-1].LogLikelihood-1 {
+			t.Errorf("LL dropped at J=%d: %.1f -> %.1f", sweep[i].J, sweep[i-1].LogLikelihood, sweep[i].LogLikelihood)
+		}
+	}
+	// Parameter counts grow linearly in J.
+	if sweep[0].Params >= sweep[1].Params {
+		t.Errorf("params not increasing: %+v", sweep[:2])
+	}
+}
+
+func TestTrainAutoSingleCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	data, _ := sampleMixture(rng, 400, [][]float64{{5, 5}}, 1)
+	m, _, err := TrainAuto(data, 1, 4, Options{Restarts: 2, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Components); got != 1 {
+		t.Errorf("BIC selected J=%d for unimodal data, want 1", got)
+	}
+}
+
+func TestTrainAutoValidation(t *testing.T) {
+	ok := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if _, _, err := TrainAuto(ok, 0, 3, Options{}); !errors.Is(err, ErrTraining) {
+		t.Errorf("minJ=0: %v", err)
+	}
+	if _, _, err := TrainAuto(ok, 3, 2, Options{}); !errors.Is(err, ErrTraining) {
+		t.Errorf("inverted range: %v", err)
+	}
+	if _, _, err := TrainAuto(nil, 1, 2, Options{}); !errors.Is(err, ErrTraining) {
+		t.Errorf("empty data: %v", err)
+	}
+}
+
+func TestTrainAutoCapsAtSampleCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	data, _ := sampleMixture(rng, 4, [][]float64{{0, 0}}, 1)
+	_, sweep, err := TrainAuto(data, 1, 10, Options{Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sweep {
+		if s.J > 4 {
+			t.Errorf("sweep tried J=%d with 4 samples", s.J)
+		}
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	// J=2, D=3: 2*(1+3+6)-1 = 19.
+	if got := numParams(2, 3); got != 19 {
+		t.Errorf("numParams(2,3) = %d, want 19", got)
+	}
+	if got := numParams(1, 1); got != 2 { // mean + variance
+		t.Errorf("numParams(1,1) = %d, want 2", got)
+	}
+}

@@ -1,0 +1,30 @@
+package heatmap_test
+
+import (
+	"fmt"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+)
+
+// Example demonstrates the paper's cell calculation: the heat map's
+// definition triple maps addresses to cells with a shift.
+func Example() {
+	def := heatmap.Def{AddrBase: 0xC0008000, Size: 3013284, Gran: 2048}
+	hm, err := heatmap.New(def)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cells:", def.Cells())
+
+	hm.Record(0xC0008000, 3) // first byte of the region -> cell 0
+	hm.Record(0xC0008800, 5) // 2 KB in -> cell 1
+	hm.Record(0xB0000000, 1) // below the region: filtered
+
+	idx, ok := def.CellIndex(0xC0008800)
+	fmt.Println("cell of 0xC0008800:", idx, ok)
+	fmt.Println("total accesses:", hm.Total())
+	// Output:
+	// cells: 1472
+	// cell of 0xC0008800: 1 true
+	// total accesses: 8
+}

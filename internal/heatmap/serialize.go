@@ -1,0 +1,119 @@
+package heatmap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrFormat is returned for malformed serialized heat maps.
+var ErrFormat = errors.New("heatmap: malformed serialized heat map")
+
+// serializedMagic frames the binary format; the version byte leaves room
+// for evolution.
+const (
+	serializedMagic   = uint32(0x4d484d31) // "MHM1"
+	serializedVersion = byte(1)
+)
+
+// WriteBinary serializes the heat map in a compact binary form:
+// magic, version, definition, interval bounds, then the raw counters.
+func (h *HeatMap) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [45]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], serializedMagic)
+	hdr[4] = serializedVersion
+	binary.LittleEndian.PutUint64(hdr[5:13], h.Def.AddrBase)
+	binary.LittleEndian.PutUint64(hdr[13:21], h.Def.Size)
+	binary.LittleEndian.PutUint64(hdr[21:29], h.Def.Gran)
+	binary.LittleEndian.PutUint64(hdr[29:37], uint64(h.Start))
+	binary.LittleEndian.PutUint64(hdr[37:45], uint64(h.End))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("heatmap: write header: %w", err)
+	}
+	var cell [4]byte
+	for _, c := range h.Counts {
+		binary.LittleEndian.PutUint32(cell[:], c)
+		if _, err := bw.Write(cell[:]); err != nil {
+			return fmt.Errorf("heatmap: write counts: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a heat map written by WriteBinary, validating
+// the definition before allocating counters.
+func ReadBinary(r io.Reader) (*HeatMap, error) {
+	var hdr [45]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("heatmap: read header: %w", errors.Join(ErrFormat, err))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != serializedMagic {
+		return nil, fmt.Errorf("heatmap: bad magic: %w", ErrFormat)
+	}
+	if hdr[4] != serializedVersion {
+		return nil, fmt.Errorf("heatmap: unsupported version %d: %w", hdr[4], ErrFormat)
+	}
+	def := Def{
+		AddrBase: binary.LittleEndian.Uint64(hdr[5:13]),
+		Size:     binary.LittleEndian.Uint64(hdr[13:21]),
+		Gran:     binary.LittleEndian.Uint64(hdr[21:29]),
+	}
+	if err := def.Validate(); err != nil {
+		return nil, fmt.Errorf("heatmap: serialized definition: %w", err)
+	}
+	h, err := New(def)
+	if err != nil {
+		return nil, err
+	}
+	h.Start = int64(binary.LittleEndian.Uint64(hdr[29:37]))
+	h.End = int64(binary.LittleEndian.Uint64(hdr[37:45]))
+	buf := make([]byte, 4*len(h.Counts))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("heatmap: read counts: %w", errors.Join(ErrFormat, err))
+	}
+	for i := range h.Counts {
+		h.Counts[i] = binary.LittleEndian.Uint32(buf[4*i : 4*i+4])
+	}
+	return h, nil
+}
+
+// WriteSeries serializes a sequence of heat maps: a count prefix then
+// each map in binary form.
+func WriteSeries(w io.Writer, maps []*HeatMap) error {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(maps)))
+	if _, err := w.Write(n[:]); err != nil {
+		return fmt.Errorf("heatmap: write series length: %w", err)
+	}
+	for i, m := range maps {
+		if err := m.WriteBinary(w); err != nil {
+			return fmt.Errorf("heatmap: series element %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadSeries deserializes a sequence written by WriteSeries.
+func ReadSeries(r io.Reader) ([]*HeatMap, error) {
+	var n [8]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, fmt.Errorf("heatmap: read series length: %w", errors.Join(ErrFormat, err))
+	}
+	count := binary.LittleEndian.Uint64(n[:])
+	const maxSeries = 1 << 24 // guards against corrupt length prefixes
+	if count > maxSeries {
+		return nil, fmt.Errorf("heatmap: series length %d exceeds limit: %w", count, ErrFormat)
+	}
+	out := make([]*HeatMap, 0, count)
+	for i := uint64(0); i < count; i++ {
+		m, err := ReadBinary(r)
+		if err != nil {
+			return nil, fmt.Errorf("heatmap: series element %d: %w", i, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

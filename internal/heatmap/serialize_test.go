@@ -1,0 +1,160 @@
+package heatmap
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMap(rng *rand.Rand) *HeatMap {
+	h, err := New(Def{AddrBase: 0xC0008000, Size: 0x8000, Gran: 0x400})
+	if err != nil {
+		panic(err)
+	}
+	h.Start = rng.Int63n(1 << 40)
+	h.End = h.Start + 10000
+	for i := range h.Counts {
+		h.Counts[i] = rng.Uint32() >> uint(rng.Intn(20))
+	}
+	return h
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomMap(rng)
+	var buf bytes.Buffer
+	if err := h.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Def != h.Def || got.Start != h.Start || got.End != h.End {
+		t.Errorf("metadata changed: %+v vs %+v", got, h)
+	}
+	if d, err := got.L1Distance(h); err != nil || d != 0 {
+		t.Errorf("counts changed: d=%d err=%v", d, err)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomMap(rng)
+		var buf bytes.Buffer
+		if h.WriteBinary(&buf) != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		d, err := got.L1Distance(h)
+		return err == nil && d == 0 && got.Start == h.Start && got.End == h.End
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		bytes.Repeat([]byte{0xFF}, 45),
+	}
+	for i, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); !errors.Is(err, ErrFormat) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestReadBinaryRejectsWrongVersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := randomMap(rng)
+	var buf bytes.Buffer
+	if err := h.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte
+	if _, err := ReadBinary(bytes.NewReader(b)); !errors.Is(err, ErrFormat) {
+		t.Errorf("wrong version: %v", err)
+	}
+}
+
+func TestReadBinaryRejectsBadDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := randomMap(rng)
+	var buf bytes.Buffer
+	if err := h.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the granularity to a non-power-of-two.
+	b[21] = 3
+	b[22] = 0
+	if _, err := ReadBinary(bytes.NewReader(b)); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad definition: %v", err)
+	}
+}
+
+func TestReadBinaryTruncatedCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := randomMap(rng)
+	var buf bytes.Buffer
+	if err := h.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-7])); !errors.Is(err, ErrFormat) {
+		t.Errorf("truncated counts: %v", err)
+	}
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	maps := []*HeatMap{randomMap(rng), randomMap(rng), randomMap(rng)}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, maps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("series length %d", len(got))
+	}
+	for i := range maps {
+		if d, _ := got[i].L1Distance(maps[i]); d != 0 {
+			t.Errorf("element %d changed", i)
+		}
+	}
+}
+
+func TestEmptySeriesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty series yielded %d maps", len(got))
+	}
+}
+
+func TestReadSeriesRejectsHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	if _, err := ReadSeries(&buf); !errors.Is(err, ErrFormat) {
+		t.Errorf("huge length: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+package kernelmap
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Linux/ARM loads kernel modules below the kernel image; the paper's
+// limitation (iv) notes its detector cannot see execution there because
+// only .text is monitored. These constants model that module area so a
+// second monitored region can cover it.
+const (
+	// ModuleBase is the module area base address (ARM convention).
+	ModuleBase = uint64(0xBF000000)
+	// ModuleSize is the modeled module area size.
+	ModuleSize = uint64(1 << 20) // 1 MB
+)
+
+// RegisterModuleService installs a synthetic kernel service whose code
+// lives in the *module area*, outside .text — the execution profile of a
+// loaded LKM (e.g. a rootkit's hooked handler). The service joins the
+// image's catalog under the given name; emitting it produces bursts the
+// .text Memometer filters out but a module-region monitor sees.
+//
+// offset places the module within the area (modules load at distinct
+// offsets); the layout must fit inside ModuleSize.
+func (img *Image) RegisterModuleService(name string, offset uint64, ktime int64, fetches float64, seed int64) (*Service, error) {
+	if name == "" {
+		return nil, fmt.Errorf("kernelmap: empty module service name: %w", ErrLayout)
+	}
+	if _, exists := img.services[name]; exists {
+		return nil, fmt.Errorf("kernelmap: service %q already registered: %w", name, ErrLayout)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	size := uint64(2048 + rng.Intn(6144)) // module .text: 2-8 KB
+	if offset+size > ModuleSize {
+		return nil, fmt.Errorf("kernelmap: module at offset %#x size %d exceeds area: %w", offset, size, ErrLayout)
+	}
+	fn := &Function{
+		Name:      name + "_code",
+		Subsystem: "lkm",
+		Addr:      ModuleBase + offset,
+		Size:      size,
+		Spots:     genHotSpots(rng, size),
+	}
+	svc := &Service{
+		Name:                 name,
+		KernelTime:           ktime,
+		FetchesPerInvocation: fetches,
+		parts:                []part{{fn: fn, w: 1}},
+	}
+	img.services[name] = svc
+	return svc, nil
+}

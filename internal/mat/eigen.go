@@ -1,0 +1,120 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds a symmetric eigendecomposition A = V diag(values) Vᵀ with
+// eigenvalues in decreasing order and eigenvectors as columns of V.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix // n x n, column j pairs with Values[j]
+}
+
+// jacobiMaxSweeps bounds the Jacobi iteration; convergence on real inputs
+// takes far fewer sweeps (usually < 15).
+const jacobiMaxSweeps = 100
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix by
+// the cyclic Jacobi method. It is intended for small-to-medium matrices
+// (n up to a few hundred); for top-k eigenpairs of large matrices use
+// EigenSymTopK.
+func EigenSym(a *Matrix) (*Eigen, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: EigenSym of %dx%d: %w", a.rows, a.cols, ErrShape)
+	}
+	if !a.IsSymmetric(1e-9 * (1 + a.MaxAbs())) {
+		return nil, fmt.Errorf("mat: EigenSym: matrix is not symmetric: %w", ErrShape)
+	}
+	n := a.rows
+	w := a.Clone() // working copy, driven to diagonal
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+		return s
+	}
+	scale := 1 + a.MaxAbs()
+	tol := 1e-28 * scale * scale * float64(n*n)
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		if offDiag() <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Rotation angle per Golub & Van Loan.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply rotation J(p,q,θ) on both sides of w.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	sortEigen(vals, v)
+	return &Eigen{Values: vals, Vectors: v}, nil
+}
+
+// sortEigen reorders eigenvalues in decreasing order, permuting the
+// columns of v to match.
+func sortEigen(vals []float64, v *Matrix) {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	oldVals := append([]float64(nil), vals...)
+	oldV := v.Clone()
+	for newJ, oldJ := range idx {
+		vals[newJ] = oldVals[oldJ]
+		for i := 0; i < v.rows; i++ {
+			v.Set(i, newJ, oldV.At(i, oldJ))
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q R with A m x n, m >= n,
+// Q m x n with orthonormal columns (thin Q) and R n x n upper triangular.
+type QR struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// NewQR factors a (m x n, m >= n) into thin Q and R.
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.rows, a.cols
+	if m < n {
+		return nil, fmt.Errorf("mat: QR of %dx%d needs rows >= cols: %w", m, n, ErrShape)
+	}
+	r := a.Clone()
+	// Accumulate Householder reflectors applied to an m x m identity is
+	// wasteful; instead store the reflectors and form thin Q afterwards.
+	vs := make([][]float64, 0, n)
+	for k := 0; k < n; k++ {
+		// Build the reflector for column k, rows k..m-1.
+		x := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			x[i-k] = r.At(i, k)
+		}
+		alpha := Norm2(x)
+		if x[0] > 0 {
+			alpha = -alpha
+		}
+		if alpha == 0 {
+			vs = append(vs, nil) // column already zero below diagonal
+			continue
+		}
+		v := append([]float64(nil), x...)
+		v[0] -= alpha
+		vn := Norm2(v)
+		if vn < 1e-300 {
+			vs = append(vs, nil)
+			continue
+		}
+		for i := range v {
+			v[i] /= vn
+		}
+		vs = append(vs, v)
+		// Apply (I - 2vvᵀ) to the trailing submatrix of r.
+		for j := k; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += v[i-k] * r.At(i, j)
+			}
+			s *= 2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-s*v[i-k])
+			}
+		}
+	}
+	// Zero out below-diagonal noise and keep the n x n R.
+	rOut := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rOut.Set(i, j, r.At(i, j))
+		}
+	}
+	// Form thin Q by applying the reflectors in reverse to the first n
+	// columns of the identity.
+	q := New(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := len(vs) - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += v[i-k] * q.At(i, j)
+			}
+			s *= 2
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-s*v[i-k])
+			}
+		}
+	}
+	return &QR{Q: q, R: rOut}, nil
+}
+
+// SolveVec solves the least-squares problem min ||A x - b|| using the
+// factorization (x = R⁻¹ Qᵀ b).
+func (qr *QR) SolveVec(b []float64) ([]float64, error) {
+	m, n := qr.Q.rows, qr.Q.cols
+	if len(b) != m {
+		return nil, fmt.Errorf("mat: QR.SolveVec: len %d, want %d: %w", len(b), m, ErrShape)
+	}
+	y, err := qr.Q.TMulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= qr.R.At(i, k) * x[k]
+		}
+		d := qr.R.At(i, i)
+		if math.Abs(d) < 1e-300 {
+			return nil, fmt.Errorf("mat: QR.SolveVec: zero diagonal at %d: %w", i, ErrSingular)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SVDThin holds a thin singular value decomposition A = U diag(S) Vᵀ with
+// A m x n, U m x r, V n x r, r = min(m, n), singular values decreasing.
+type SVDThin struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// NewSVD computes a thin SVD via the symmetric eigendecomposition of the
+// smaller Gram matrix (AᵀA or AAᵀ). Adequate for the small matrices this
+// project decomposes directly; large covariances go through EigenSymTopK.
+func NewSVD(a *Matrix) (*SVDThin, error) {
+	m, n := a.rows, a.cols
+	if m >= n {
+		// Eigen of AᵀA (n x n): A = U S Vᵀ with V the eigenvectors.
+		ata, err := Mul(a.T(), a)
+		if err != nil {
+			return nil, err
+		}
+		es, err := EigenSym(ata)
+		if err != nil {
+			return nil, err
+		}
+		s := make([]float64, n)
+		u := New(m, n)
+		for j := 0; j < n; j++ {
+			ev := es.Values[j]
+			if ev < 0 {
+				ev = 0
+			}
+			s[j] = math.Sqrt(ev)
+			// u_j = A v_j / s_j
+			vj := es.Vectors.ColCopy(j)
+			av, err := a.MulVec(vj)
+			if err != nil {
+				return nil, err
+			}
+			if s[j] > 1e-300 {
+				for i := 0; i < m; i++ {
+					u.Set(i, j, av[i]/s[j])
+				}
+			}
+		}
+		return &SVDThin{U: u, S: s, V: es.Vectors}, nil
+	}
+	// m < n: decompose the transpose and swap U and V.
+	sv, err := NewSVD(a.T())
+	if err != nil {
+		return nil, err
+	}
+	return &SVDThin{U: sv.V, S: sv.S, V: sv.U}, nil
+}

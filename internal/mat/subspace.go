@@ -1,0 +1,253 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// SymOp is a linear operator x -> A x for a symmetric positive
+// semi-definite A that may be cheaper to apply than to materialize
+// (e.g. a covariance C = (1/N) Φ Φᵀ applied as Φ (Φᵀ x) / N).
+type SymOp interface {
+	// Dim returns the dimension n of the operator.
+	Dim() int
+	// Apply computes dst = A*src. dst and src have length Dim and do not
+	// alias.
+	Apply(dst, src []float64)
+}
+
+// DenseOp adapts a symmetric *Matrix to the SymOp interface.
+type DenseOp struct{ M *Matrix }
+
+// Dim returns the matrix dimension.
+func (d DenseOp) Dim() int { return d.M.Rows() }
+
+// Apply computes dst = M*src.
+func (d DenseOp) Apply(dst, src []float64) {
+	for i := 0; i < d.M.Rows(); i++ {
+		dst[i] = Dot(d.M.Row(i), src)
+	}
+}
+
+// GramOp applies C = (1/N) A Aᵀ where A is n x N, without forming C.
+// This is the eigenfaces covariance trick: for MHM training sets A holds
+// the mean-shifted heat maps as columns. Apply is safe for concurrent
+// use (each call owns its scratch).
+type GramOp struct {
+	A *Matrix // n x N
+}
+
+// NewGramOp wraps the n x N matrix a.
+func NewGramOp(a *Matrix) *GramOp {
+	return &GramOp{A: a}
+}
+
+// Dim returns n, the row dimension of A.
+func (g *GramOp) Dim() int { return g.A.Rows() }
+
+// Apply computes dst = (1/N) A (Aᵀ src).
+func (g *GramOp) Apply(dst, src []float64) {
+	n := g.A.Rows()
+	cols := g.A.Cols()
+	t := make([]float64, cols)
+	// t = Aᵀ src
+	for i := 0; i < n; i++ {
+		si := src[i]
+		if si == 0 {
+			continue
+		}
+		ri := g.A.Row(i)
+		for j, v := range ri {
+			t[j] += si * v
+		}
+	}
+	// dst = A t / N
+	inv := 1 / float64(cols)
+	for i := 0; i < n; i++ {
+		dst[i] = Dot(g.A.Row(i), t) * inv
+	}
+}
+
+// TopKOptions tunes EigenSymTopK.
+type TopKOptions struct {
+	// MaxIter bounds the number of subspace iterations (default 300).
+	MaxIter int
+	// Tol is the relative change in the Ritz values at which iteration
+	// stops (default 1e-10).
+	Tol float64
+	// Seed seeds the random starting block for determinism (default 1).
+	Seed int64
+	// Oversample adds extra vectors to the iterated block to speed
+	// convergence of the trailing wanted pairs (default min(8, dim-k)).
+	Oversample int
+	// Parallel applies the operator to the block vectors on separate
+	// goroutines; the operator's Apply must be concurrency-safe (DenseOp
+	// and GramOp are). Results are identical to the serial run.
+	Parallel bool
+}
+
+func (o *TopKOptions) fill(dim, k int) {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 300
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Oversample <= 0 {
+		o.Oversample = 8
+	}
+	if k+o.Oversample > dim {
+		o.Oversample = dim - k
+	}
+}
+
+// EigenSymTopK computes the k largest eigenpairs of the symmetric PSD
+// operator op by block subspace (orthogonal) iteration with a Rayleigh-
+// Ritz projection each round. Eigenvalues come back in decreasing order;
+// eigenvectors are the columns of the returned matrix.
+func EigenSymTopK(op SymOp, k int, opts TopKOptions) (*Eigen, error) {
+	n := op.Dim()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("mat: EigenSymTopK: k=%d for dim %d: %w", k, n, ErrShape)
+	}
+	opts.fill(n, k)
+	b := k + opts.Oversample // block size
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// Block of b column vectors, stored as rows of q (b x n) for locality.
+	q := New(b, n)
+	for i := 0; i < b; i++ {
+		row := q.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	if err := orthonormalizeRows(q); err != nil {
+		return nil, err
+	}
+
+	z := New(b, n)
+	prev := make([]float64, k)
+	var ritzVals []float64
+	var ritzVecs *Matrix
+
+	applyBlock := func(q *Matrix) {
+		if !opts.Parallel {
+			for i := 0; i < b; i++ {
+				op.Apply(z.Row(i), q.Row(i))
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < b; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				op.Apply(z.Row(i), q.Row(i))
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// z_i = A q_i
+		applyBlock(q)
+		// Rayleigh-Ritz: S = Q A Qᵀ (b x b), small dense eigenproblem.
+		s := New(b, b)
+		for i := 0; i < b; i++ {
+			zi := z.Row(i)
+			for j := i; j < b; j++ {
+				v := Dot(q.Row(j), zi)
+				s.Set(i, j, v)
+				s.Set(j, i, v)
+			}
+		}
+		es, err := EigenSym(s)
+		if err != nil {
+			return nil, fmt.Errorf("mat: EigenSymTopK: inner eigensolve: %w", err)
+		}
+		// Rotate the block: newQ = esᵀ-combined rows of z (i.e. Ritz
+		// vectors of A within span(z)). Using z (=A·q) instead of q makes
+		// this a power step plus projection.
+		newQ := New(b, n)
+		for c := 0; c < b; c++ { // Ritz vector c
+			dst := newQ.Row(c)
+			for i := 0; i < b; i++ {
+				w := es.Vectors.At(i, c)
+				if w != 0 {
+					Axpy(w, z.Row(i), dst)
+				}
+			}
+		}
+		if err := orthonormalizeRows(newQ); err != nil {
+			return nil, err
+		}
+		q = newQ
+		ritzVals = es.Values
+
+		// Convergence on the k wanted Ritz values.
+		maxRel := 0.0
+		for i := 0; i < k; i++ {
+			den := math.Abs(ritzVals[i])
+			if den < 1e-300 {
+				den = 1e-300
+			}
+			rel := math.Abs(ritzVals[i]-prev[i]) / den
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+		copy(prev, ritzVals[:k])
+		if iter > 0 && maxRel < opts.Tol {
+			break
+		}
+	}
+
+	// Final Rayleigh quotients and vectors for the leading k pairs.
+	ritzVecs = New(n, k)
+	vals := make([]float64, k)
+	tmp := make([]float64, n)
+	for c := 0; c < k; c++ {
+		row := q.Row(c)
+		op.Apply(tmp, row)
+		vals[c] = Dot(row, tmp)
+		for i := 0; i < n; i++ {
+			ritzVecs.Set(i, c, row[i])
+		}
+	}
+	// The Ritz pairs can come out of order by tiny amounts; sort.
+	sortEigen(vals, ritzVecs)
+	return &Eigen{Values: vals, Vectors: ritzVecs}, nil
+}
+
+// orthonormalizeRows applies modified Gram-Schmidt to the rows of q in
+// place. Rows that collapse to (near) zero are replaced by fresh random
+// directions orthogonal to the earlier rows; this keeps subspace
+// iteration full-rank when the operator has low numerical rank.
+func orthonormalizeRows(q *Matrix) error {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < q.rows; i++ {
+		ri := q.Row(i)
+		for attempt := 0; ; attempt++ {
+			for j := 0; j < i; j++ {
+				rj := q.Row(j)
+				Axpy(-Dot(ri, rj), rj, ri)
+			}
+			if Normalize(ri) > 1e-12 {
+				break
+			}
+			if attempt >= 5 {
+				return fmt.Errorf("mat: orthonormalizeRows: row %d keeps collapsing: %w", i, ErrSingular)
+			}
+			for k := range ri {
+				ri[k] = rng.NormFloat64()
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of two equal-length vectors. It panics on
+// length mismatch: vector lengths are structural invariants here.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot: lengths %d and %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	// Scaled accumulation avoids overflow for extreme values.
+	max := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		t := x / max
+		s += t * t
+	}
+	return max * math.Sqrt(s)
+}
+
+// AddVec returns a+b as a new vector.
+func AddVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: AddVec: lengths %d and %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// SubVec returns a-b as a new vector.
+func SubVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: SubVec: lengths %d and %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// ScaleVec returns s*v as a new vector.
+func ScaleVec(s float64, v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = s * x
+	}
+	return out
+}
+
+// Axpy adds s*x to y in place (y += s*x).
+func Axpy(s float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy: lengths %d and %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += s * v
+	}
+}
+
+// Normalize scales v to unit Euclidean norm in place and returns the
+// original norm. A zero vector is left unchanged and 0 is returned.
+func Normalize(v []float64) float64 {
+	n := Norm2(v)
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return n
+}
+
+// DistEuclid returns the Euclidean distance between a and b.
+func DistEuclid(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: DistEuclid: lengths %d and %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

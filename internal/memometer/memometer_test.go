@@ -1,0 +1,307 @@
+package memometer
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+)
+
+func testCfg() Config {
+	return Config{
+		Region:         heatmap.Def{AddrBase: 0x1000, Size: 0x1000, Gran: 0x100}, // 16 cells
+		IntervalMicros: 1000,
+	}
+}
+
+func mustDevice(t *testing.T) *Device {
+	t.Helper()
+	d := New()
+	if err := d.Configure(testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want error
+	}{
+		{"ok", testCfg(), nil},
+		{"bad region", Config{Region: heatmap.Def{Size: 10, Gran: 3}, IntervalMicros: 10}, heatmap.ErrConfig},
+		{"zero interval", Config{Region: heatmap.Def{Size: 0x100, Gran: 0x100}, IntervalMicros: 0}, ErrConfig},
+		{"too many cells", Config{
+			Region:         heatmap.Def{AddrBase: 0, Size: (MaxCells + 1) * 0x100, Gran: 0x100},
+			IntervalMicros: 10,
+		}, ErrConfig},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.want == nil && err != nil {
+			t.Errorf("%s: unexpected %v", c.name, err)
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestPaperRegionFitsOnChipMemory(t *testing.T) {
+	// The paper's 1,472-cell MHM must fit the 8 KB on-chip memory
+	// (max ~2,000 cells).
+	cfg := Config{
+		Region:         heatmap.Def{AddrBase: 0xC0008000, Size: 3013284, Gran: 2048},
+		IntervalMicros: 10000,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("paper config rejected: %v", err)
+	}
+	if cfg.Region.Cells() != 1472 || MaxCells != 2048 {
+		t.Errorf("cells=%d maxcells=%d", cfg.Region.Cells(), MaxCells)
+	}
+}
+
+func TestUnconfiguredDevice(t *testing.T) {
+	d := New()
+	if err := d.Snoop(0, 0x1000); !errors.Is(err, ErrNotConfigured) {
+		t.Errorf("Snoop: %v", err)
+	}
+	if err := d.Tick(0); !errors.Is(err, ErrNotConfigured) {
+		t.Errorf("Tick: %v", err)
+	}
+	if _, err := d.Collect(); !errors.Is(err, ErrNotConfigured) {
+		t.Errorf("Collect: %v", err)
+	}
+	if _, err := d.Config(); !errors.Is(err, ErrNotConfigured) {
+		t.Errorf("Config: %v", err)
+	}
+	if err := d.Run(nil, nil); !errors.Is(err, ErrNotConfigured) {
+		t.Errorf("Run: %v", err)
+	}
+}
+
+func TestSnoopFiltersAddresses(t *testing.T) {
+	d := mustDevice(t)
+	if err := d.Snoop(10, 0x1000); err != nil { // in region
+		t.Fatal(err)
+	}
+	if err := d.Snoop(20, 0x0FFF); err != nil { // below
+		t.Fatal(err)
+	}
+	if err := d.Snoop(30, 0x2000); err != nil { // above
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Snooped != 3 || st.Accepted != 1 || st.AcceptedAccesses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestIntervalBoundaryProducesMHM(t *testing.T) {
+	d := mustDevice(t)
+	if d.HasPending() {
+		t.Fatal("pending before any interval")
+	}
+	if err := d.Snoop(100, 0x1100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SnoopBurst(500, 0x1200, 9); err != nil {
+		t.Fatal(err)
+	}
+	// Crossing the boundary (t=1000) completes the first MHM.
+	if err := d.Snoop(1001, 0x1300); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasPending() {
+		t.Fatal("no pending MHM after boundary")
+	}
+	m, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Start != 0 || m.End != 1000 {
+		t.Errorf("interval = [%d, %d), want [0, 1000)", m.Start, m.End)
+	}
+	if m.Counts[1] != 1 || m.Counts[2] != 9 {
+		t.Errorf("counts = %v", m.Counts[:4])
+	}
+	if m.Total() != 10 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	// The post-boundary snoop belongs to the second interval.
+	if err := d.Tick(2000); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Start != 1000 || m2.End != 2000 || m2.Counts[3] != 1 {
+		t.Errorf("second MHM = [%d,%d) counts[3]=%d", m2.Start, m2.End, m2.Counts[3])
+	}
+}
+
+func TestQuietIntervalsViaTick(t *testing.T) {
+	d := mustDevice(t)
+	// Jump across 3 boundaries with no bus traffic: boundaries still
+	// fire; hardware keeps only the most recent completed MHM (two
+	// dropped as overruns because nobody collected).
+	if err := d.Tick(3500); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Intervals != 3 {
+		t.Errorf("Intervals = %d, want 3", st.Intervals)
+	}
+	if st.Overruns != 2 {
+		t.Errorf("Overruns = %d, want 2", st.Overruns)
+	}
+	m, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Start != 2000 || m.End != 3000 || m.Total() != 0 {
+		t.Errorf("kept MHM = [%d,%d) total=%d", m.Start, m.End, m.Total())
+	}
+}
+
+func TestDoubleBufferingContinuity(t *testing.T) {
+	// Recording continues in the second buffer while the first awaits
+	// analysis: accesses after the boundary land in the next MHM even
+	// before Collect.
+	d := mustDevice(t)
+	if err := d.Snoop(100, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Snoop(1100, 0x1F00); err != nil { // into interval 2
+		t.Fatal(err)
+	}
+	if !d.HasPending() {
+		t.Fatal("interval 1 not pending")
+	}
+	first, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Counts[0] != 1 || first.Counts[15] != 0 {
+		t.Errorf("first interval counts wrong: %v", first.Counts)
+	}
+	if err := d.Tick(2000); err != nil {
+		t.Fatal(err)
+	}
+	second, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Counts[15] != 1 || second.Counts[0] != 0 {
+		t.Errorf("second interval counts wrong: %v", second.Counts)
+	}
+	if d.Stats().Overruns != 0 {
+		t.Errorf("unexpected overruns: %d", d.Stats().Overruns)
+	}
+}
+
+func TestCollectWithoutPending(t *testing.T) {
+	d := mustDevice(t)
+	if _, err := d.Collect(); !errors.Is(err, ErrNotReady) {
+		t.Errorf("Collect: %v, want ErrNotReady", err)
+	}
+}
+
+func TestTimeMonotonicity(t *testing.T) {
+	d := mustDevice(t)
+	if err := d.Snoop(500, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Snoop(400, 0x1000); !errors.Is(err, ErrConfig) {
+		t.Errorf("backwards snoop: %v", err)
+	}
+	if err := d.Tick(100); !errors.Is(err, ErrConfig) {
+		t.Errorf("backwards tick: %v", err)
+	}
+}
+
+func TestZeroCountBurstIgnored(t *testing.T) {
+	d := mustDevice(t)
+	if err := d.SnoopBurst(10, 0x1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Accepted != 0 || st.AcceptedAccesses != 0 {
+		t.Errorf("zero burst counted: %+v", st)
+	}
+}
+
+func TestReconfigureResetsState(t *testing.T) {
+	d := mustDevice(t)
+	if err := d.Tick(2500); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Configure(testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if d.HasPending() {
+		t.Error("pending survived reconfigure")
+	}
+	if st := d.Stats(); st.Intervals != 0 || st.Snooped != 0 {
+		t.Errorf("stats survived reconfigure: %+v", st)
+	}
+	if err := d.Tick(10); err != nil {
+		t.Errorf("clock not reset: %v", err)
+	}
+}
+
+func TestRunPumpsAllIntervals(t *testing.T) {
+	d := mustDevice(t)
+	var collected []int64
+	var totals []uint64
+	err := d.Run(
+		func(yield func(t int64, addr uint64, count uint32) error) error {
+			for i := int64(0); i < 5; i++ {
+				// One burst per interval, sized i+1.
+				if err := yield(i*1000+500, 0x1000, uint32(i+1)); err != nil {
+					return err
+				}
+			}
+			// Push time past the final boundary.
+			return yield(5001, 0x0, 0)
+		},
+		func(m *heatmap.HeatMap) error {
+			collected = append(collected, m.Start)
+			totals = append(totals, m.Total())
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(collected) != 5 {
+		t.Fatalf("collected %d MHMs, want 5", len(collected))
+	}
+	for i, start := range collected {
+		if start != int64(i)*1000 {
+			t.Errorf("MHM %d start = %d", i, start)
+		}
+		if totals[i] != uint64(i+1) {
+			t.Errorf("MHM %d total = %d, want %d", i, totals[i], i+1)
+		}
+	}
+	if d.Stats().Overruns != 0 {
+		t.Errorf("overruns in pumped run: %d", d.Stats().Overruns)
+	}
+}
+
+func TestRunPropagatesCollectError(t *testing.T) {
+	d := mustDevice(t)
+	sentinel := errors.New("stop")
+	err := d.Run(
+		func(yield func(t int64, addr uint64, count uint32) error) error {
+			return yield(1500, 0x1000, 1)
+		},
+		func(m *heatmap.HeatMap) error { return sentinel },
+	)
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package pca implements the paper's "eigenmemory" dimensionality
+// reduction (§4.2): principal component analysis of the training MHMs,
+// exactly the eigenfaces recipe. A training set of N heat maps in
+// L dimensions is mean-shifted, the top L' eigenvectors of the empirical
+// covariance become the eigenmemories, and every MHM is represented by
+// its L' projection weights.
+package pca
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"github.com/memheatmap/mhm/internal/mat"
+)
+
+// ErrTraining wraps invalid training inputs.
+var ErrTraining = errors.New("pca: invalid training input")
+
+// Options tunes Train.
+type Options struct {
+	// Components fixes L' directly when positive.
+	Components int
+	// VarianceFraction picks the smallest L' whose eigenvalues explain at
+	// least this fraction of total variance (used when Components == 0;
+	// the paper uses 0.9999 — "more than 99.99% of the variances").
+	VarianceFraction float64
+	// MaxComponents caps the eigenpairs computed during variance-driven
+	// selection (default 32).
+	MaxComponents int
+	// Seed seeds the subspace iteration (default 1).
+	Seed int64
+	// Parallel runs the subspace iteration's operator applications on
+	// separate goroutines; results are identical to the serial run.
+	Parallel bool
+}
+
+func (o *Options) fill() error {
+	if o.Components < 0 {
+		return fmt.Errorf("pca: negative component count %d: %w", o.Components, ErrTraining)
+	}
+	if o.Components == 0 {
+		if o.VarianceFraction == 0 {
+			o.VarianceFraction = 0.9999
+		}
+		if o.VarianceFraction < 0 || o.VarianceFraction > 1 {
+			return fmt.Errorf("pca: variance fraction %g out of (0,1]: %w", o.VarianceFraction, ErrTraining)
+		}
+	}
+	if o.MaxComponents <= 0 {
+		o.MaxComponents = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// Model holds the learned eigenmemory basis.
+type Model struct {
+	// Mean is the empirical mean MHM Ψ (length L).
+	Mean []float64
+	// Components is L x L': eigenmemory u_j in column j.
+	Components *mat.Matrix
+	// Values are the corresponding eigenvalues, decreasing.
+	Values []float64
+	// TotalVariance is trace of the empirical covariance, for
+	// variance-explained reporting.
+	TotalVariance float64
+
+	// Projection cache: uᵀ stored row-wise plus the precomputed uᵀΨ
+	// offsets, so Project is a clean L·L' dot-product sweep.
+	prepOnce sync.Once
+	compT    *mat.Matrix // L' x L
+	meanOff  []float64   // length L': u_jᵀ Ψ
+}
+
+// prepare builds the projection cache.
+func (m *Model) prepare() {
+	m.prepOnce.Do(func() {
+		m.compT = m.Components.T()
+		m.meanOff = make([]float64, m.compT.Rows())
+		for j := range m.meanOff {
+			m.meanOff[j] = mat.Dot(m.compT.Row(j), m.Mean)
+		}
+	})
+}
+
+// Train learns the eigenmemories of a training set (each element one MHM
+// vector of equal length L).
+func Train(set [][]float64, opts Options) (*Model, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	n := len(set)
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 training MHMs, got %d: %w", n, ErrTraining)
+	}
+	l := len(set[0])
+	if l == 0 {
+		return nil, fmt.Errorf("pca: zero-length MHMs: %w", ErrTraining)
+	}
+	for i, v := range set {
+		if len(v) != l {
+			return nil, fmt.Errorf("pca: MHM %d has length %d, want %d: %w", i, len(v), l, ErrTraining)
+		}
+	}
+	// The covariance of N samples in L dims has rank ≤ min(L, N); asking
+	// for more eigenpairs than that is a caller bug for explicit
+	// Components, and silently capped during automatic selection.
+	rank := l
+	if n < rank {
+		rank = n
+	}
+	if opts.Components > rank {
+		return nil, fmt.Errorf("pca: %d components from %d samples in %d dims: %w",
+			opts.Components, n, l, ErrTraining)
+	}
+	maxK := opts.MaxComponents
+	if opts.Components > 0 {
+		maxK = opts.Components
+	}
+	if maxK > rank {
+		maxK = rank
+	}
+
+	// Ψ = mean, Φ = mean-shifted columns.
+	mean := make([]float64, l)
+	for _, v := range set {
+		for i, x := range v {
+			mean[i] += x
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(n)
+	}
+	phi := mat.New(l, n)
+	totalVar := 0.0
+	for j, v := range set {
+		for i, x := range v {
+			d := x - mean[i]
+			phi.Set(i, j, d)
+			totalVar += d * d
+		}
+	}
+	totalVar /= float64(n)
+
+	eig, err := mat.EigenSymTopK(mat.NewGramOp(phi), maxK, mat.TopKOptions{Seed: opts.Seed, Parallel: opts.Parallel})
+	if err != nil {
+		return nil, fmt.Errorf("pca: eigendecomposition: %w", err)
+	}
+
+	k := maxK
+	if opts.Components == 0 {
+		// Variance-driven selection.
+		cum := 0.0
+		k = maxK
+		for i, v := range eig.Values {
+			if v > 0 {
+				cum += v
+			}
+			if totalVar > 0 && cum/totalVar >= opts.VarianceFraction {
+				k = i + 1
+				break
+			}
+		}
+	}
+
+	comps := mat.New(l, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < l; i++ {
+			comps.Set(i, j, eig.Vectors.At(i, j))
+		}
+	}
+	return &Model{
+		Mean:          mean,
+		Components:    comps,
+		Values:        append([]float64(nil), eig.Values[:k]...),
+		TotalVariance: totalVar,
+	}, nil
+}
+
+// Dim returns (L, L').
+func (m *Model) Dim() (int, int) { return m.Components.Rows(), m.Components.Cols() }
+
+// VarianceExplained returns the fraction of total variance captured by
+// the retained eigenmemories.
+func (m *Model) VarianceExplained() float64 {
+	if m.TotalVariance <= 0 {
+		return 1
+	}
+	s := 0.0
+	for _, v := range m.Values {
+		if v > 0 {
+			s += v
+		}
+	}
+	f := s / m.TotalVariance
+	if f > 1 {
+		f = 1 // numerical round-off
+	}
+	return f
+}
+
+// Project transforms one MHM vector into eigenmemory weights
+// (Eq. 1: M' = uᵀ(M − Ψ), computed as uᵀM − uᵀΨ with the second term
+// cached).
+func (m *Model) Project(v []float64) ([]float64, error) {
+	l, lp := m.Dim()
+	if len(v) != l {
+		return nil, fmt.Errorf("pca: Project: length %d, want %d: %w", len(v), l, ErrTraining)
+	}
+	m.prepare()
+	out := make([]float64, lp)
+	for j := 0; j < lp; j++ {
+		out[j] = mat.Dot(m.compT.Row(j), v) - m.meanOff[j]
+	}
+	return out, nil
+}
+
+// ProjectAll transforms a whole set.
+func (m *Model) ProjectAll(set [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(set))
+	for i, v := range set {
+		w, err := m.Project(v)
+		if err != nil {
+			return nil, fmt.Errorf("pca: MHM %d: %w", i, err)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// Reconstruct maps weights back to MHM space: Ψ + Σ w_j u_j.
+func (m *Model) Reconstruct(w []float64) ([]float64, error) {
+	l, lp := m.Dim()
+	if len(w) != lp {
+		return nil, fmt.Errorf("pca: Reconstruct: length %d, want %d: %w", len(w), lp, ErrTraining)
+	}
+	out := make([]float64, l)
+	copy(out, m.Mean)
+	for j, wj := range w {
+		if wj == 0 {
+			continue
+		}
+		for i := 0; i < l; i++ {
+			out[i] += wj * m.Components.At(i, j)
+		}
+	}
+	return out, nil
+}
+
+// ReconstructionError returns the RMS error of projecting and
+// reconstructing v.
+func (m *Model) ReconstructionError(v []float64) (float64, error) {
+	w, err := m.Project(v)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := m.Reconstruct(w)
+	if err != nil {
+		return 0, err
+	}
+	return mat.DistEuclid(v, rec) / math.Sqrt(float64(len(v))), nil
+}
+
+// modelJSON is the serialization form of Model.
+type modelJSON struct {
+	Mean          []float64   `json:"mean"`
+	Components    [][]float64 `json:"components"` // row-major L x L'
+	Values        []float64   `json:"values"`
+	TotalVariance float64     `json:"totalVariance"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	l, lp := m.Dim()
+	rows := make([][]float64, l)
+	for i := 0; i < l; i++ {
+		rows[i] = make([]float64, lp)
+		copy(rows[i], m.Components.Row(i))
+	}
+	return json.NewEncoder(w).Encode(modelJSON{
+		Mean:          m.Mean,
+		Components:    rows,
+		Values:        m.Values,
+		TotalVariance: m.TotalVariance,
+	})
+}
+
+// Load reads a model produced by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("pca: decode model: %w", err)
+	}
+	if len(mj.Mean) == 0 || len(mj.Components) != len(mj.Mean) {
+		return nil, fmt.Errorf("pca: malformed model: %w", ErrTraining)
+	}
+	comps, err := mat.FromRows(mj.Components)
+	if err != nil {
+		return nil, fmt.Errorf("pca: malformed components: %w", err)
+	}
+	if comps.Cols() != len(mj.Values) {
+		return nil, fmt.Errorf("pca: %d values for %d components: %w", len(mj.Values), comps.Cols(), ErrTraining)
+	}
+	return &Model{
+		Mean:          mj.Mean,
+		Components:    comps,
+		Values:        mj.Values,
+		TotalVariance: mj.TotalVariance,
+	}, nil
+}

@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/alarm"
+	"github.com/memheatmap/mhm/internal/attack"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/pca"
+	"github.com/memheatmap/mhm/internal/securecore"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// TestOnlineEndToEnd runs the complete deployment loop: train offline,
+// then monitor a live attacked system with per-interval analysis and
+// debounced alarms — the paper's architecture end to end.
+func TestOnlineEndToEnd(t *testing.T) {
+	img, err := kernelmap.NewImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := heatmap.Def{AddrBase: img.Base, Size: img.Size, Gran: 2048}
+
+	collect := func(seed int64, micros int64) []*heatmap.HeatMap {
+		tasks, err := workload.PaperTaskSet(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := securecore.NewSession(img, tasks, securecore.SessionConfig{
+			Region: region, NoiseSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maps, err := s.Run(micros)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return maps
+	}
+	var train []*heatmap.HeatMap
+	for seed := int64(0); seed < 3; seed++ {
+		train = append(train, collect(seed, 1_000_000)...)
+	}
+	calib := collect(50, 1_000_000)
+	det, err := core.Train(train, calib, core.Config{
+		PCA: pca.Options{VarianceFraction: 0.9999, MaxComponents: 16},
+		GMM: gmm.Options{Components: 5, Restarts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := New(det, Config{Alarm: alarm.Config{RaiseAfter: 2, ClearAfter: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live monitoring of an attacked run: qsort launched at t = 1 s
+	// (interval 100).
+	const launch = 1_000_000 + 5_000
+	sc := &attack.AppAddition{Spec: workload.QsortSpec(), LaunchAt: launch}
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Transform(tasks); err != nil {
+		t.Fatal(err)
+	}
+	session, err := securecore.NewSession(img, tasks, securecore.SessionConfig{
+		Region:    region,
+		NoiseSeed: 777,
+		OnMHM:     p.Process,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Install(session.Scheduler, session.Image); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := len(p.Records()); got != 200 {
+		t.Fatalf("analyzed %d intervals, want 200", got)
+	}
+	rep := p.Analyze(100)
+	if rep.DetectionLatencyIntervals < 0 {
+		t.Fatal("attack never raised an alarm")
+	}
+	if rep.DetectionLatencyIntervals > 10 {
+		t.Errorf("detection latency %d intervals (%d ms)",
+			rep.DetectionLatencyIntervals, rep.DetectionLatencyIntervals*10)
+	}
+	if rep.FalseRaises > 1 {
+		t.Errorf("false raises before the attack: %d", rep.FalseRaises)
+	}
+	// The first alarm's simulated time is after the launch.
+	for _, ev := range p.Alarms() {
+		if ev.Raised && ev.Time <= launch {
+			t.Errorf("alarm at simulated time %d before launch %d", ev.Time, launch)
+		}
+		break
+	}
+	// Feasibility: online analysis is far below the 10 ms budget.
+	budget := p.Budget()
+	if budget.Overruns != 0 {
+		t.Errorf("online analysis overran the interval %d times (max %.0f µs)",
+			budget.Overruns, budget.MaxMicros)
+	}
+}

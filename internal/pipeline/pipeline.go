@@ -1,0 +1,163 @@
+// Package pipeline assembles the secure core's online loop: every
+// completed memory heat map is classified against a trained detector,
+// the verdict is debounced into alarms, and the analysis cost is
+// checked against the real-time budget — the paper's deployment model,
+// where the analysis of interval i must finish while interval i+1 is
+// being recorded (§3.1's double buffering, §5.4's timing argument).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/memheatmap/mhm/internal/alarm"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/heatmap"
+)
+
+// ErrConfig wraps invalid pipeline configuration.
+var ErrConfig = errors.New("pipeline: invalid configuration")
+
+// Config tunes the online pipeline.
+type Config struct {
+	// Quantile selects the calibrated threshold to act on (default 0.01
+	// = the paper's θ1).
+	Quantile float64
+	// Alarm configures debouncing (zero value = alarm defaults).
+	Alarm alarm.Config
+	// UseResidual additionally applies the residual test when the
+	// detector was calibrated with residual quantiles.
+	UseResidual bool
+}
+
+// IntervalRecord is one analyzed interval.
+type IntervalRecord struct {
+	Index      int
+	Start, End int64
+	LogDensity float64
+	Residual   float64 // 0 unless UseResidual
+	Anomalous  bool
+	// AnalysisMicros is the measured wall-clock analysis cost.
+	AnalysisMicros float64
+	// Event is the alarm transition this interval triggered, if any.
+	Event *alarm.Event
+}
+
+// Pipeline is the online analyzer; plug Process into
+// securecore.SessionConfig.OnMHM.
+type Pipeline struct {
+	det *core.Detector
+	cfg Config
+	rt  *alarm.Runtime
+
+	records []IntervalRecord
+	index   int
+}
+
+// New builds a pipeline over a trained detector.
+func New(det *core.Detector, cfg Config) (*Pipeline, error) {
+	if det == nil {
+		return nil, fmt.Errorf("pipeline: nil detector: %w", ErrConfig)
+	}
+	if cfg.Quantile == 0 {
+		cfg.Quantile = 0.01
+	}
+	if _, err := det.Threshold(cfg.Quantile); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	if cfg.UseResidual {
+		if _, err := det.ResidualThreshold(cfg.Quantile); err != nil {
+			return nil, fmt.Errorf("pipeline: residual requested: %w", err)
+		}
+	}
+	rt, err := alarm.NewRuntime(cfg.Alarm)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{det: det, cfg: cfg, rt: rt}, nil
+}
+
+// Process analyzes one completed MHM; it is the securecore OnMHM hook.
+func (p *Pipeline) Process(m *heatmap.HeatMap) error {
+	start := time.Now()
+	var (
+		anomalous bool
+		lp, res   float64
+		err       error
+	)
+	if p.cfg.UseResidual {
+		anomalous, lp, res, err = p.det.ClassifyWithResidual(m, p.cfg.Quantile)
+	} else {
+		anomalous, lp, err = p.det.Classify(m, p.cfg.Quantile)
+	}
+	if err != nil {
+		return fmt.Errorf("pipeline: interval %d: %w", p.index, err)
+	}
+	rec := IntervalRecord{
+		Index:          p.index,
+		Start:          m.Start,
+		End:            m.End,
+		LogDensity:     lp,
+		Residual:       res,
+		Anomalous:      anomalous,
+		AnalysisMicros: float64(time.Since(start).Nanoseconds()) / 1e3,
+	}
+	rec.Event = p.rt.Observe(anomalous, m.End)
+	p.records = append(p.records, rec)
+	p.index++
+	return nil
+}
+
+// Records returns every analyzed interval so far.
+func (p *Pipeline) Records() []IntervalRecord {
+	out := make([]IntervalRecord, len(p.records))
+	copy(out, p.records)
+	return out
+}
+
+// Alarms returns the alarm transitions so far.
+func (p *Pipeline) Alarms() []alarm.Event { return p.rt.Events() }
+
+// Raised reports the current alarm state.
+func (p *Pipeline) Raised() bool { return p.rt.Raised() }
+
+// BudgetReport summarizes whether the analysis fits the monitoring
+// interval — the paper's §5.4 feasibility argument.
+type BudgetReport struct {
+	Intervals int
+	// MeanMicros and MaxMicros are analysis-cost statistics.
+	MeanMicros, MaxMicros float64
+	// IntervalMicros is the budget (0 if no intervals were seen).
+	IntervalMicros int64
+	// Overruns counts intervals whose analysis exceeded the budget; with
+	// double buffering one overrun drops one MHM.
+	Overruns int
+}
+
+// Budget computes the report against the MHM interval length.
+func (p *Pipeline) Budget() BudgetReport {
+	rep := BudgetReport{Intervals: len(p.records)}
+	if len(p.records) == 0 {
+		return rep
+	}
+	rep.IntervalMicros = p.records[0].End - p.records[0].Start
+	sum := 0.0
+	for _, r := range p.records {
+		sum += r.AnalysisMicros
+		if r.AnalysisMicros > rep.MaxMicros {
+			rep.MaxMicros = r.AnalysisMicros
+		}
+		if int64(r.AnalysisMicros) >= rep.IntervalMicros {
+			rep.Overruns++
+		}
+	}
+	rep.MeanMicros = sum / float64(len(p.records))
+	return rep
+}
+
+// Analyze summarizes detection against a ground-truth event interval
+// (negative for a clean run), delegating to the alarm runtime.
+func (p *Pipeline) Analyze(eventInterval int) alarm.Report {
+	return p.rt.Analyze(eventInterval)
+}

@@ -1,0 +1,158 @@
+// Package plot renders time series as ASCII line charts so the
+// experiment drivers can show the paper's figures (log-density and
+// traffic-volume series) directly in a terminal.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrInput wraps invalid plot inputs.
+var ErrInput = errors.New("plot: invalid input")
+
+// Options tunes a chart.
+type Options struct {
+	// Width and Height are the plot area size in characters (defaults
+	// 80x16).
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// HLines draws labeled horizontal threshold lines at these y values
+	// (e.g. θ0.5 and θ1).
+	HLines map[string]float64
+	// Marks labels x positions (e.g. "launch" at interval 250).
+	Marks map[string]int
+	// YLabel annotates the vertical axis.
+	YLabel string
+	// KeepMax downsamples by bucket-maximum instead of the default
+	// bucket-minimum: use it when spikes are the signal (traffic volume)
+	// rather than dips (log density).
+	KeepMax bool
+}
+
+func (o *Options) fill() {
+	if o.Width <= 0 {
+		o.Width = 80
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+}
+
+// Line renders ys (one value per x step) as an ASCII chart. Values are
+// downsampled by bucket-minimum when the series is wider than the plot
+// (minimum, because for density plots the dips are the signal).
+func Line(ys []float64, opts Options) (string, error) {
+	if len(ys) == 0 {
+		return "", fmt.Errorf("plot: empty series: %w", ErrInput)
+	}
+	opts.fill()
+	w, h := opts.Width, opts.Height
+
+	// Downsample to w columns, keeping each bucket's minimum.
+	cols := make([]float64, w)
+	for c := 0; c < w; c++ {
+		lo := c * len(ys) / w
+		hi := (c + 1) * len(ys) / w
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(ys) {
+			hi = len(ys)
+		}
+		keep := ys[lo]
+		for _, v := range ys[lo:hi] {
+			if (opts.KeepMax && v > keep) || (!opts.KeepMax && v < keep) {
+				keep = v
+			}
+		}
+		cols[c] = keep
+	}
+
+	// Y range across data and threshold lines.
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, v := range cols {
+		yMin = math.Min(yMin, v)
+		yMax = math.Max(yMax, v)
+	}
+	for _, v := range opts.HLines {
+		yMin = math.Min(yMin, v)
+		yMax = math.Max(yMax, v)
+	}
+	if math.IsInf(yMin, 0) || math.IsInf(yMax, 0) || math.IsNaN(yMin) || math.IsNaN(yMax) {
+		return "", fmt.Errorf("plot: non-finite series: %w", ErrInput)
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	row := func(v float64) int {
+		r := int(float64(h-1) * (yMax - v) / (yMax - yMin))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	// Threshold lines first so data overdraws them.
+	for _, v := range opts.HLines {
+		r := row(v)
+		for c := 0; c < w; c++ {
+			grid[r][c] = '-'
+		}
+	}
+	for c, v := range cols {
+		grid[row(v)][c] = '*'
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	for i, line := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%10.1f", yMax)
+		case h - 1:
+			label = fmt.Sprintf("%10.1f", yMin)
+		case h / 2:
+			if opts.YLabel != "" {
+				l := opts.YLabel
+				if len(l) > 10 {
+					l = l[:10]
+				}
+				label = fmt.Sprintf("%10s", l)
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, line)
+	}
+	// X marks row.
+	if len(opts.Marks) > 0 {
+		marks := []byte(strings.Repeat(" ", w))
+		for _, x := range opts.Marks {
+			c := x * w / len(ys)
+			if c >= 0 && c < w {
+				marks[c] = '^'
+			}
+		}
+		fmt.Fprintf(&b, "%10s  %s\n", "", marks)
+		for name, x := range opts.Marks {
+			fmt.Fprintf(&b, "%10s  ^ %s at x=%d\n", "", name, x)
+		}
+	}
+	// Threshold legend.
+	for name, v := range opts.HLines {
+		fmt.Fprintf(&b, "%10s  -- %s = %.2f\n", "", name, v)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	ys := make([]float64, 200)
+	for i := range ys {
+		ys[i] = math.Sin(float64(i) / 10)
+	}
+	out, err := Line(ys, Options{Width: 60, Height: 10, Title: "sine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 10 rows.
+	if len(lines) != 11 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "sine" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data points drawn")
+	}
+	// Y labels on the first and last rows.
+	if !strings.Contains(lines[1], "1.0") {
+		t.Errorf("max label missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[10], "-1.0") {
+		t.Errorf("min label missing: %q", lines[10])
+	}
+}
+
+func TestLineThresholdsAndMarks(t *testing.T) {
+	ys := make([]float64, 100)
+	for i := range ys {
+		ys[i] = -30
+		if i >= 50 {
+			ys[i] = -60
+		}
+	}
+	out, err := Line(ys, Options{
+		Width:  50,
+		Height: 8,
+		HLines: map[string]float64{"θ1": -40},
+		Marks:  map[string]int{"launch": 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "-- θ1 = -40.00") {
+		t.Errorf("threshold legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "^ launch at x=50") {
+		t.Errorf("mark legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("threshold line not drawn")
+	}
+}
+
+func TestLineDownsamplesKeepingMinima(t *testing.T) {
+	// A single deep dip in a long flat series must survive downsampling
+	// (dips are the detection signal).
+	ys := make([]float64, 1000)
+	for i := range ys {
+		ys[i] = 0
+	}
+	ys[500] = -100
+	out, err := Line(ys, Options{Width: 40, Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dip defines the bottom of the scale.
+	if !strings.Contains(out, "-100.0") {
+		t.Errorf("dip lost in downsampling:\n%s", out)
+	}
+}
+
+func TestLineErrors(t *testing.T) {
+	if _, err := Line(nil, Options{}); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Line([]float64{math.NaN()}, Options{}); !errors.Is(err, ErrInput) {
+		t.Errorf("NaN: %v", err)
+	}
+	if _, err := Line([]float64{math.Inf(-1)}, Options{}); !errors.Is(err, ErrInput) {
+		t.Errorf("Inf: %v", err)
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	out, err := Line([]float64{5, 5, 5, 5}, Options{Width: 10, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not drawn")
+	}
+}
+
+func TestLineDefaults(t *testing.T) {
+	out, err := Line([]float64{1, 2, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 16 {
+		t.Errorf("default height rows = %d, want 16", len(lines))
+	}
+}
+
+func TestYLabel(t *testing.T) {
+	out, err := Line([]float64{1, 2, 3}, Options{YLabel: "logdensity", Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "logdensity") {
+		t.Errorf("y label missing:\n%s", out)
+	}
+}
+
+func TestKeepMaxPreservesSpikes(t *testing.T) {
+	ys := make([]float64, 1000)
+	ys[500] = 100
+	out, err := Line(ys, Options{Width: 40, Height: 6, KeepMax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100.0") {
+		t.Errorf("spike lost with KeepMax:\n%s", out)
+	}
+}

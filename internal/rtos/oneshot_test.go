@@ -1,0 +1,166 @@
+package rtos
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/sim"
+)
+
+func TestSpawnOneShotRunsAboveEverything(t *testing.T) {
+	// A long-running low-priority task gets preempted by the one-shot
+	// even though the one-shot is aperiodic.
+	task := computeTask("bg", 10_000, 8_000)
+	eng := sim.NewEngine()
+	rec := &recorder{}
+	s, err := NewScheduler(eng, Config{TickPeriod: 0}, []*Task{task}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := []Segment{
+		{Kind: Syscall, Duration: 300, Service: "init_module", Invocations: 1},
+		{Kind: Compute, Duration: 200},
+	}
+	if err := s.SpawnOneShotAt(2_000, "insmod", segs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// The one-shot executes exactly [2000, 2500).
+	var oneShot int64
+	for _, sl := range rec.slices {
+		if sl.task == "insmod" {
+			oneShot += sl.end - sl.start
+			if sl.start < 2_000 || sl.end > 2_500 {
+				t.Errorf("one-shot slice [%d, %d) outside [2000, 2500)", sl.start, sl.end)
+			}
+		}
+	}
+	if oneShot != 500 {
+		t.Errorf("one-shot executed %d, want 500", oneShot)
+	}
+	// The background task still completes all its work.
+	if got := rec.execTime("bg"); got != 8_000 {
+		t.Errorf("bg exec = %d, want 8000", got)
+	}
+	// Release/complete events fired for the one-shot.
+	found := false
+	for _, c := range rec.completes {
+		if c.task == "insmod" {
+			found = true
+			if c.missed {
+				t.Error("one-shot reported a deadline miss")
+			}
+		}
+	}
+	if !found {
+		t.Error("one-shot completion not reported")
+	}
+}
+
+func TestSpawnOneShotValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	s, err := NewScheduler(eng, Config{TickPeriod: 0}, []*Task{computeTask("a", 100, 10)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SpawnOneShotAt(5, "", []Segment{{Kind: Compute, Duration: 1}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty name: %v", err)
+	}
+	if err := s.SpawnOneShotAt(5, "x", nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("no segments: %v", err)
+	}
+	if err := s.SpawnOneShotAt(5, "x", []Segment{{Kind: Compute, Duration: -1}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("negative segment: %v", err)
+	}
+}
+
+func TestTeeFansOutAllEvents(t *testing.T) {
+	a, b := &recorder{}, &recorder{}
+	tee := Tee(a, b)
+	task := computeTask("t", 100, 10)
+	tee.OnSlice(task, Segment{Kind: Compute, Duration: 10}, 0, 10, 0, 1)
+	tee.OnContextSwitch(5, "x", "y")
+	tee.OnTick(7)
+	tee.OnIdle(8, 9)
+	tee.OnJobRelease(1, task, 0)
+	tee.OnJobComplete(11, task, 0, true)
+	for i, r := range []*recorder{a, b} {
+		if len(r.slices) != 1 || len(r.switches) != 1 || len(r.ticks) != 1 ||
+			len(r.idles) != 1 || len(r.releases) != 1 || len(r.completes) != 1 {
+			t.Errorf("recorder %d missed events: %+v", i, r)
+		}
+	}
+	if !a.completes[0].missed {
+		t.Error("missed flag not propagated")
+	}
+}
+
+func TestSegmentKindString(t *testing.T) {
+	if Compute.String() != "compute" || Syscall.String() != "syscall" {
+		t.Error("kind names")
+	}
+	if SegmentKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestAddTaskAtDuplicateIgnored(t *testing.T) {
+	base := computeTask("base", 1_000, 100)
+	eng := sim.NewEngine()
+	rec := &recorder{}
+	s, err := NewScheduler(eng, Config{TickPeriod: 0}, []*Task{base}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := computeTask("base", 500, 50) // same name: duplicate launch
+	if err := s.AddTaskAt(1_000, clone); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(3_000); err != nil {
+		t.Fatal(err)
+	}
+	// Only the original cadence: releases at 0, 1000, 2000.
+	if len(rec.releases) != 3 {
+		t.Errorf("releases = %d, want 3 (duplicate ignored)", len(rec.releases))
+	}
+	if err := s.AddTaskAt(1, &Task{}); !errors.Is(err, ErrConfig) {
+		t.Errorf("invalid dynamic task: %v", err)
+	}
+}
+
+func TestRemoveRunningTaskMidSlice(t *testing.T) {
+	// Removing the currently running task charges its partial slice and
+	// dispatches the next job immediately.
+	long := computeTask("long", 10_000, 5_000)
+	other := computeTask("other", 10_000, 1_000)
+	other.Phase = 6_000
+	eng := sim.NewEngine()
+	rec := &recorder{}
+	s, err := NewScheduler(eng, Config{TickPeriod: 0}, []*Task{long, other}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveTaskAt(2_500, "long"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.execTime("long"); got != 2_500 {
+		t.Errorf("long exec = %d, want 2500 (charged up to removal)", got)
+	}
+	if got := rec.execTime("other"); got != 1_000 {
+		t.Errorf("other exec = %d, want 1000", got)
+	}
+}

@@ -1,0 +1,672 @@
+// Package rtos simulates the monitored core's real-time operating
+// system: a set of periodic tasks under preemptive fixed-priority
+// (rate-monotonic) scheduling, with timer ticks, context switches and
+// deadline bookkeeping. Execution is reported to an ExecListener, which
+// the monitoring harness uses to synthesize the kernel memory-access
+// stream.
+package rtos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/memheatmap/mhm/internal/sim"
+)
+
+// ErrConfig wraps invalid task-set or scheduler parameters.
+var ErrConfig = errors.New("rtos: invalid configuration")
+
+// SegmentKind distinguishes what a job is doing during a segment.
+type SegmentKind int
+
+const (
+	// Compute is user-space execution: it consumes CPU time but touches
+	// no kernel text.
+	Compute SegmentKind = iota
+	// Syscall is kernel execution of a named service.
+	Syscall
+)
+
+// String returns the segment kind name.
+func (k SegmentKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Syscall:
+		return "syscall"
+	default:
+		return fmt.Sprintf("SegmentKind(%d)", int(k))
+	}
+}
+
+// Segment is one phase of a job's execution.
+type Segment struct {
+	Kind SegmentKind
+	// Duration is the segment's execution time in microseconds.
+	Duration int64
+	// Service names the kernel service for Syscall segments.
+	Service string
+	// Invocations is how many calls of Service the segment represents;
+	// access emission scales with it.
+	Invocations int
+}
+
+// JobBehavior produces the segment list for each job of a task. The rng
+// is task-local and seeded deterministically, so behaviors can add
+// execution-time jitter without breaking reproducibility.
+type JobBehavior interface {
+	NewJob(jobIndex int64, rng *rand.Rand) []Segment
+}
+
+// BehaviorFunc adapts a function to JobBehavior.
+type BehaviorFunc func(jobIndex int64, rng *rand.Rand) []Segment
+
+// NewJob calls f.
+func (f BehaviorFunc) NewJob(jobIndex int64, rng *rand.Rand) []Segment { return f(jobIndex, rng) }
+
+// Task describes one periodic real-time task.
+type Task struct {
+	Name string
+	// Period and relative Deadline in microseconds (Deadline 0 means
+	// deadline == period).
+	Period, Deadline int64
+	// Phase delays the first release.
+	Phase int64
+	// WCET is the nominal worst-case execution time, used for utilization
+	// accounting and schedulability checks.
+	WCET int64
+	// Behavior generates each job's segments. Behaviors whose segment
+	// durations exceed WCET are allowed (the paper's execution times are
+	// measured averages); the scheduler simply runs what it is given.
+	Behavior JobBehavior
+	// Seed isolates this task's jitter stream.
+	Seed int64
+}
+
+// Validate checks the task parameters.
+func (t *Task) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("rtos: task with empty name: %w", ErrConfig)
+	}
+	if t.Period <= 0 {
+		return fmt.Errorf("rtos: task %s: period %d: %w", t.Name, t.Period, ErrConfig)
+	}
+	if t.Deadline < 0 || t.Phase < 0 || t.WCET < 0 {
+		return fmt.Errorf("rtos: task %s: negative timing parameter: %w", t.Name, ErrConfig)
+	}
+	if t.Behavior == nil {
+		return fmt.Errorf("rtos: task %s: nil behavior: %w", t.Name, ErrConfig)
+	}
+	return nil
+}
+
+// ExecListener observes scheduler activity. All callbacks run inside the
+// simulation loop and must not call back into the scheduler.
+type ExecListener interface {
+	// OnSlice reports that task spent [start, end) executing seg,
+	// advancing it from fraction frac0 to frac1 of its duration.
+	OnSlice(task *Task, seg Segment, start, end int64, frac0, frac1 float64)
+	// OnContextSwitch reports a dispatch changing the running context;
+	// from or to is "" for the idle context.
+	OnContextSwitch(t int64, from, to string)
+	// OnTick reports a periodic timer interrupt.
+	OnTick(t int64)
+	// OnIdle reports that the CPU idled over [start, end).
+	OnIdle(start, end int64)
+	// OnJobRelease reports the release of task's job number idx.
+	OnJobRelease(t int64, task *Task, idx int64)
+	// OnJobComplete reports job completion; missed is true when it
+	// finished past its absolute deadline.
+	OnJobComplete(t int64, task *Task, idx int64, missed bool)
+}
+
+// NopListener is an ExecListener that ignores everything; embed it to
+// implement only the callbacks of interest.
+type NopListener struct{}
+
+// OnSlice implements ExecListener.
+func (NopListener) OnSlice(*Task, Segment, int64, int64, float64, float64) {}
+
+// OnContextSwitch implements ExecListener.
+func (NopListener) OnContextSwitch(int64, string, string) {}
+
+// OnTick implements ExecListener.
+func (NopListener) OnTick(int64) {}
+
+// OnIdle implements ExecListener.
+func (NopListener) OnIdle(int64, int64) {}
+
+// OnJobRelease implements ExecListener.
+func (NopListener) OnJobRelease(int64, *Task, int64) {}
+
+// OnJobComplete implements ExecListener.
+func (NopListener) OnJobComplete(int64, *Task, int64, bool) {}
+
+// Tee fans scheduler events out to several listeners in order.
+func Tee(listeners ...ExecListener) ExecListener {
+	return teeListener(listeners)
+}
+
+type teeListener []ExecListener
+
+// OnSlice implements ExecListener.
+func (t teeListener) OnSlice(task *Task, seg Segment, start, end int64, f0, f1 float64) {
+	for _, l := range t {
+		l.OnSlice(task, seg, start, end, f0, f1)
+	}
+}
+
+// OnContextSwitch implements ExecListener.
+func (t teeListener) OnContextSwitch(tm int64, from, to string) {
+	for _, l := range t {
+		l.OnContextSwitch(tm, from, to)
+	}
+}
+
+// OnTick implements ExecListener.
+func (t teeListener) OnTick(tm int64) {
+	for _, l := range t {
+		l.OnTick(tm)
+	}
+}
+
+// OnIdle implements ExecListener.
+func (t teeListener) OnIdle(start, end int64) {
+	for _, l := range t {
+		l.OnIdle(start, end)
+	}
+}
+
+// OnJobRelease implements ExecListener.
+func (t teeListener) OnJobRelease(tm int64, task *Task, idx int64) {
+	for _, l := range t {
+		l.OnJobRelease(tm, task, idx)
+	}
+}
+
+// OnJobComplete implements ExecListener.
+func (t teeListener) OnJobComplete(tm int64, task *Task, idx int64, missed bool) {
+	for _, l := range t {
+		l.OnJobComplete(tm, task, idx, missed)
+	}
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// TickPeriod is the timer interrupt period in microseconds
+	// (default 1000 = 1 ms).
+	TickPeriod int64
+}
+
+type jobState struct {
+	task     *Task
+	index    int64
+	release  int64
+	deadline int64
+	segments []Segment
+	segIdx   int
+	segDone  int64 // executed time within current segment
+	priority int   // smaller = more urgent
+}
+
+func (j *jobState) remaining() int64 {
+	var r int64
+	for i := j.segIdx; i < len(j.segments); i++ {
+		d := j.segments[i].Duration
+		if i == j.segIdx {
+			d -= j.segDone
+		}
+		r += d
+	}
+	return r
+}
+
+// Scheduler is a preemptive fixed-priority scheduler over a sim.Engine.
+type Scheduler struct {
+	engine   *sim.Engine
+	cfg      Config
+	tasks    []*Task
+	listener ExecListener
+	rngs     map[string]*rand.Rand
+
+	ready      []*jobState
+	running    *jobState
+	current    string // name of the running context, "" when idle
+	sliceStart int64
+	idleStart  int64
+	isIdle     bool
+	generation uint64 // invalidates stale slice-end events
+
+	// Released counts total job releases; Completed total completions;
+	// Missed total deadline misses.
+	Released, Completed, Missed int64
+}
+
+// NewScheduler validates the task set and prepares a scheduler. The
+// listener may be nil to discard events.
+func NewScheduler(engine *sim.Engine, cfg Config, tasks []*Task, listener ExecListener) (*Scheduler, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("rtos: nil engine: %w", ErrConfig)
+	}
+	if cfg.TickPeriod == 0 {
+		cfg.TickPeriod = 1000
+	}
+	if cfg.TickPeriod < 0 {
+		return nil, fmt.Errorf("rtos: tick period %d: %w", cfg.TickPeriod, ErrConfig)
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("rtos: empty task set: %w", ErrConfig)
+	}
+	seen := map[string]bool{}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("rtos: duplicate task name %q: %w", t.Name, ErrConfig)
+		}
+		seen[t.Name] = true
+	}
+	if listener == nil {
+		listener = NopListener{}
+	}
+	s := &Scheduler{
+		engine:   engine,
+		cfg:      cfg,
+		tasks:    append([]*Task(nil), tasks...),
+		listener: listener,
+		rngs:     make(map[string]*rand.Rand, len(tasks)),
+		isIdle:   true,
+	}
+	for _, t := range tasks {
+		s.rngs[t.Name] = rand.New(rand.NewSource(t.Seed + 1))
+	}
+	return s, nil
+}
+
+// Utilization returns the task set's nominal CPU utilization Σ WCET/T.
+func Utilization(tasks []*Task) float64 {
+	u := 0.0
+	for _, t := range tasks {
+		u += float64(t.WCET) / float64(t.Period)
+	}
+	return u
+}
+
+// RMSchedulable applies the Liu & Layland sufficient bound
+// U ≤ n(2^{1/n}−1) for rate-monotonic scheduling. A false result does
+// not prove unschedulability (the bound is sufficient, not necessary).
+func RMSchedulable(tasks []*Task) bool {
+	n := float64(len(tasks))
+	if n == 0 {
+		return true
+	}
+	bound := n * (pow2inv(n) - 1)
+	return Utilization(tasks) <= bound
+}
+
+func pow2inv(n float64) float64 {
+	// 2^(1/n) via exp/log would pull in math; keep it explicit.
+	// n >= 1 in all callers.
+	x := 1.0
+	// Newton iteration for x^n = 2.
+	for i := 0; i < 64; i++ {
+		xn := 1.0
+		for j := 0; j < int(n); j++ {
+			xn *= x
+		}
+		// derivative n*x^(n-1)
+		d := n * xn / x
+		next := x - (xn-2)/d
+		if next == x {
+			break
+		}
+		x = next
+	}
+	return x
+}
+
+// rmPriority returns the rate-monotonic priority of task index i within
+// s.tasks: tasks sorted by (period, name) get increasing priority values.
+func (s *Scheduler) rmPriority(task *Task) int {
+	type key struct {
+		period int64
+		name   string
+	}
+	keys := make([]key, len(s.tasks))
+	for i, t := range s.tasks {
+		keys[i] = key{t.Period, t.Name}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].period != keys[b].period {
+			return keys[a].period < keys[b].period
+		}
+		return keys[a].name < keys[b].name
+	})
+	for i, k := range keys {
+		if k.period == task.Period && k.name == task.Name {
+			return i
+		}
+	}
+	return len(keys)
+}
+
+// Start schedules the initial releases and timer ticks. Call once before
+// running the engine.
+func (s *Scheduler) Start() error {
+	now := s.engine.Now()
+	s.idleStart = now
+	for _, t := range s.tasks {
+		t := t
+		if err := s.engine.At(now+t.Phase, func(tm int64) { s.release(t, 0, tm) }); err != nil {
+			return err
+		}
+	}
+	if s.cfg.TickPeriod > 0 {
+		var tick func(tm int64)
+		tick = func(tm int64) {
+			// Charge the running slice up to the tick so listeners never
+			// see execution reported more than one tick late; monitoring
+			// sinks rely on (near) monotone emission timestamps.
+			s.chargeRunning(tm)
+			s.listener.OnTick(tm)
+			if err := s.engine.After(s.cfg.TickPeriod, tick); err != nil {
+				// Engine time only moves forward inside Run; After with a
+				// positive delay cannot fail.
+				panic(err)
+			}
+		}
+		if err := s.engine.After(s.cfg.TickPeriod, tick); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddTaskAt dynamically introduces a task at absolute time t (used by the
+// application-addition attack scenario). The task's first release occurs
+// at t + task.Phase.
+func (s *Scheduler) AddTaskAt(t int64, task *Task) error {
+	if err := task.Validate(); err != nil {
+		return err
+	}
+	return s.engine.At(t, func(tm int64) {
+		for _, existing := range s.tasks {
+			if existing.Name == task.Name {
+				return // already present; ignore duplicate launch
+			}
+		}
+		s.tasks = append(s.tasks, task)
+		s.rngs[task.Name] = rand.New(rand.NewSource(task.Seed + 1))
+		// Re-dispatch so RM priorities account for the newcomer.
+		next := tm + task.Phase
+		if err := s.engine.At(next, func(tm2 int64) { s.release(task, 0, tm2) }); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// RemoveTaskAt stops releasing task name's jobs from absolute time t on;
+// an in-flight job is abandoned at its next dispatch (used by the
+// shellcode host-kill and qsort-exit scenarios).
+func (s *Scheduler) RemoveTaskAt(t int64, name string) error {
+	return s.engine.At(t, func(tm int64) {
+		for i, task := range s.tasks {
+			if task.Name == name {
+				s.tasks = append(s.tasks[:i], s.tasks[i+1:]...)
+				break
+			}
+		}
+		// Drop queued jobs of the task.
+		kept := s.ready[:0]
+		for _, j := range s.ready {
+			if j.task.Name != name {
+				kept = append(kept, j)
+			}
+		}
+		s.ready = kept
+		if s.running != nil && s.running.task.Name == name {
+			s.chargeRunning(tm)
+			s.running = nil
+			s.generation++
+			s.dispatch(tm)
+		}
+	})
+}
+
+// SpawnOneShotAt schedules a single job with the given segments at
+// absolute time t, running above all periodic tasks (priority -1). It
+// models sporadic kernel-context work such as insmod loading a module:
+// the job goes through the normal dispatch/charge path, so its kernel
+// service emission and its interference with the task set are both
+// accounted for.
+func (s *Scheduler) SpawnOneShotAt(t int64, name string, segs []Segment) error {
+	if name == "" {
+		return fmt.Errorf("rtos: one-shot with empty name: %w", ErrConfig)
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("rtos: one-shot %q with no segments: %w", name, ErrConfig)
+	}
+	segsCopy := append([]Segment(nil), segs...)
+	var total int64
+	for _, seg := range segsCopy {
+		if seg.Duration < 0 {
+			return fmt.Errorf("rtos: one-shot %q with negative segment: %w", name, ErrConfig)
+		}
+		total += seg.Duration
+	}
+	task := &Task{
+		Name:   name,
+		Period: 1 << 40, // effectively aperiodic; never re-released
+		WCET:   total,
+		Behavior: BehaviorFunc(func(int64, *rand.Rand) []Segment {
+			return segsCopy
+		}),
+	}
+	return s.engine.At(t, func(now int64) {
+		job := &jobState{
+			task:     task,
+			index:    0,
+			release:  now,
+			deadline: now + task.Period,
+			segments: segsCopy,
+			priority: -1, // above every rate-monotonic priority
+		}
+		s.Released++
+		s.listener.OnJobRelease(now, task, 0)
+		s.ready = append(s.ready, job)
+		s.preemptCheck(now)
+	})
+}
+
+func (s *Scheduler) release(t *Task, idx int64, now int64) {
+	// Stop the release chain if the task was removed.
+	alive := false
+	for _, existing := range s.tasks {
+		if existing == t {
+			alive = true
+			break
+		}
+	}
+	if !alive {
+		return
+	}
+	deadline := t.Deadline
+	if deadline == 0 {
+		deadline = t.Period
+	}
+	segs := t.Behavior.NewJob(idx, s.rngs[t.Name])
+	job := &jobState{
+		task:     t,
+		index:    idx,
+		release:  now,
+		deadline: now + deadline,
+		segments: segs,
+		priority: s.rmPriority(t),
+	}
+	s.Released++
+	s.listener.OnJobRelease(now, t, idx)
+
+	// Schedule next release.
+	if err := s.engine.After(t.Period, func(tm int64) { s.release(t, idx+1, tm) }); err != nil {
+		panic(err)
+	}
+
+	if len(segs) == 0 || job.remaining() == 0 {
+		// Degenerate zero-length job completes instantly.
+		s.Completed++
+		s.listener.OnJobComplete(now, t, idx, now > job.deadline)
+		return
+	}
+
+	s.ready = append(s.ready, job)
+	s.preemptCheck(now)
+}
+
+// preemptCheck re-evaluates the dispatch decision after a queue change.
+func (s *Scheduler) preemptCheck(now int64) {
+	best := s.bestReady()
+	if s.running == nil {
+		if best != nil {
+			s.dispatch(now)
+		}
+		return
+	}
+	if best != nil && best.priority < s.running.priority {
+		// Preempt: charge the running job and put it back in the queue.
+		s.chargeRunning(now)
+		s.ready = append(s.ready, s.running)
+		s.running = nil
+		s.generation++
+		s.dispatch(now)
+	}
+}
+
+func (s *Scheduler) bestReady() *jobState {
+	var best *jobState
+	for _, j := range s.ready {
+		if best == nil ||
+			j.priority < best.priority ||
+			(j.priority == best.priority && j.release < best.release) ||
+			(j.priority == best.priority && j.release == best.release && j.index < best.index) {
+			best = j
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) removeReady(j *jobState) {
+	for i, r := range s.ready {
+		if r == j {
+			s.ready = append(s.ready[:i], s.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+// chargeRunning accounts the running job's execution from sliceStart to
+// now, emitting OnSlice per touched segment.
+func (s *Scheduler) chargeRunning(now int64) {
+	j := s.running
+	if j == nil || now <= s.sliceStart {
+		return
+	}
+	t := s.sliceStart
+	elapsed := now - s.sliceStart
+	for elapsed > 0 && j.segIdx < len(j.segments) {
+		seg := j.segments[j.segIdx]
+		left := seg.Duration - j.segDone
+		run := elapsed
+		if run > left {
+			run = left
+		}
+		frac0 := 0.0
+		if seg.Duration > 0 {
+			frac0 = float64(j.segDone) / float64(seg.Duration)
+		}
+		j.segDone += run
+		frac1 := 1.0
+		if seg.Duration > 0 {
+			frac1 = float64(j.segDone) / float64(seg.Duration)
+		}
+		s.listener.OnSlice(j.task, seg, t, t+run, frac0, frac1)
+		t += run
+		elapsed -= run
+		if j.segDone >= seg.Duration {
+			j.segIdx++
+			j.segDone = 0
+		}
+	}
+	s.sliceStart = now
+}
+
+// dispatch picks the best ready job and runs it. Call with running == nil.
+func (s *Scheduler) dispatch(now int64) {
+	best := s.bestReady()
+	if best == nil {
+		if !s.isIdle {
+			s.isIdle = true
+			s.idleStart = now
+			s.listener.OnContextSwitch(now, s.current, "")
+			s.current = ""
+		}
+		return
+	}
+	if s.isIdle {
+		if now > s.idleStart {
+			s.listener.OnIdle(s.idleStart, now)
+		}
+		s.isIdle = false
+	}
+	s.removeReady(best)
+	s.running = best
+	s.sliceStart = now
+	if s.current != best.task.Name {
+		s.listener.OnContextSwitch(now, s.current, best.task.Name)
+		s.current = best.task.Name
+	}
+	s.generation++
+	gen := s.generation
+	rem := best.remaining()
+	if err := s.engine.After(rem, func(tm int64) { s.sliceEnd(gen, tm) }); err != nil {
+		panic(err)
+	}
+}
+
+// sliceEnd fires when the running job would complete, unless a newer
+// dispatch superseded it.
+func (s *Scheduler) sliceEnd(gen uint64, now int64) {
+	if gen != s.generation || s.running == nil {
+		return
+	}
+	s.chargeRunning(now)
+	j := s.running
+	if j.segIdx < len(j.segments) {
+		// Still work left (can happen if charging rounded); keep running.
+		gen2 := s.generation
+		if err := s.engine.After(j.remaining(), func(tm int64) { s.sliceEnd(gen2, tm) }); err != nil {
+			panic(err)
+		}
+		return
+	}
+	s.running = nil
+	missed := now > j.deadline
+	s.Completed++
+	if missed {
+		s.Missed++
+	}
+	s.listener.OnJobComplete(now, j.task, j.index, missed)
+	s.dispatch(now)
+}
+
+// FinishIdle flushes a trailing idle period at simulation end so OnIdle
+// accounting covers the whole run.
+func (s *Scheduler) FinishIdle() {
+	now := s.engine.Now()
+	if s.isIdle && now > s.idleStart {
+		s.listener.OnIdle(s.idleStart, now)
+		s.idleStart = now
+	}
+}

@@ -1,0 +1,445 @@
+package rtos
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/sim"
+)
+
+// fixedBehavior returns the same segments for every job.
+func fixedBehavior(segs ...Segment) JobBehavior {
+	return BehaviorFunc(func(int64, *rand.Rand) []Segment {
+		out := make([]Segment, len(segs))
+		copy(out, segs)
+		return out
+	})
+}
+
+func computeTask(name string, period, wcet int64) *Task {
+	return &Task{
+		Name: name, Period: period, WCET: wcet,
+		Behavior: fixedBehavior(Segment{Kind: Compute, Duration: wcet}),
+	}
+}
+
+// recorder captures listener callbacks for assertions.
+type recorder struct {
+	NopListener
+	slices    []sliceRec
+	switches  []switchRec
+	ticks     []int64
+	idles     []idleRec
+	releases  []string
+	completes []completeRec
+}
+
+type sliceRec struct {
+	task       string
+	kind       SegmentKind
+	start, end int64
+}
+type switchRec struct {
+	t        int64
+	from, to string
+}
+type idleRec struct{ start, end int64 }
+type completeRec struct {
+	t      int64
+	task   string
+	idx    int64
+	missed bool
+}
+
+func (r *recorder) OnSlice(task *Task, seg Segment, start, end int64, f0, f1 float64) {
+	r.slices = append(r.slices, sliceRec{task.Name, seg.Kind, start, end})
+}
+func (r *recorder) OnContextSwitch(t int64, from, to string) {
+	r.switches = append(r.switches, switchRec{t, from, to})
+}
+func (r *recorder) OnTick(t int64)          { r.ticks = append(r.ticks, t) }
+func (r *recorder) OnIdle(start, end int64) { r.idles = append(r.idles, idleRec{start, end}) }
+func (r *recorder) OnJobRelease(t int64, task *Task, idx int64) {
+	r.releases = append(r.releases, task.Name)
+}
+func (r *recorder) OnJobComplete(t int64, task *Task, idx int64, missed bool) {
+	r.completes = append(r.completes, completeRec{t, task.Name, idx, missed})
+}
+
+func (r *recorder) execTime(task string) int64 {
+	var total int64
+	for _, s := range r.slices {
+		if s.task == task {
+			total += s.end - s.start
+		}
+	}
+	return total
+}
+
+func runSched(t *testing.T, tasks []*Task, horizon int64, cfg Config) (*Scheduler, *recorder) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rec := &recorder{}
+	s, err := NewScheduler(eng, cfg, tasks, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	s.FinishIdle()
+	return s, rec
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewScheduler(nil, Config{}, []*Task{computeTask("a", 10, 1)}, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil engine: %v", err)
+	}
+	if _, err := NewScheduler(eng, Config{}, nil, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := NewScheduler(eng, Config{TickPeriod: -5}, []*Task{computeTask("a", 10, 1)}, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("negative tick: %v", err)
+	}
+	bad := []*Task{computeTask("a", 10, 1), computeTask("a", 20, 1)}
+	if _, err := NewScheduler(eng, Config{}, bad, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("duplicate names: %v", err)
+	}
+	for _, task := range []*Task{
+		{Name: "", Period: 10, Behavior: fixedBehavior()},
+		{Name: "x", Period: 0, Behavior: fixedBehavior()},
+		{Name: "x", Period: 10, Behavior: nil},
+		{Name: "x", Period: 10, Phase: -1, Behavior: fixedBehavior()},
+	} {
+		if err := task.Validate(); !errors.Is(err, ErrConfig) {
+			t.Errorf("task %+v: %v", task, err)
+		}
+	}
+}
+
+func TestSingleTaskRunsToCompletion(t *testing.T) {
+	task := computeTask("solo", 1000, 300)
+	s, rec := runSched(t, []*Task{task}, 5000, Config{TickPeriod: 0})
+	// 5 releases (t=0..4000), each runs 300.
+	if s.Released != 5 || s.Completed != 5 || s.Missed != 0 {
+		t.Errorf("released=%d completed=%d missed=%d", s.Released, s.Completed, s.Missed)
+	}
+	if got := rec.execTime("solo"); got != 1500 {
+		t.Errorf("exec time = %d, want 1500", got)
+	}
+	// Idle should cover the remaining 3500.
+	var idle int64
+	for _, id := range rec.idles {
+		idle += id.end - id.start
+	}
+	if idle != 3500 {
+		t.Errorf("idle = %d, want 3500", idle)
+	}
+}
+
+func TestRMPreemption(t *testing.T) {
+	// hi: period 100, wcet 20; lo: period 1000, wcet 500.
+	// lo must be preempted by every hi release.
+	hi := computeTask("hi", 100, 20)
+	lo := computeTask("lo", 1000, 500)
+	s, rec := runSched(t, []*Task{lo, hi}, 1000, Config{TickPeriod: 0})
+	if s.Missed != 0 {
+		t.Errorf("missed = %d", s.Missed)
+	}
+	// hi runs 10 times * 20 = 200; lo runs 500 within the first 1000.
+	if got := rec.execTime("hi"); got != 200 {
+		t.Errorf("hi exec = %d, want 200", got)
+	}
+	if got := rec.execTime("lo"); got != 500 {
+		t.Errorf("lo exec = %d, want 500", got)
+	}
+	// hi always executes immediately at its release (no blocking in this
+	// model): slices for hi start at multiples of 100.
+	for _, sl := range rec.slices {
+		if sl.task == "hi" && sl.start%100 != 0 {
+			t.Errorf("hi slice started at %d, want multiple of 100", sl.start)
+		}
+	}
+	// lo's execution must be split by preemptions: more than one slice.
+	var loSlices int
+	for _, sl := range rec.slices {
+		if sl.task == "lo" {
+			loSlices++
+		}
+	}
+	if loSlices < 5 {
+		t.Errorf("lo slices = %d, expected several due to preemption", loSlices)
+	}
+}
+
+func TestNoOverlappingExecution(t *testing.T) {
+	// Property: execution slices never overlap — single CPU.
+	tasks := []*Task{
+		computeTask("a", 100, 30),
+		computeTask("b", 150, 40),
+		computeTask("c", 400, 100),
+	}
+	_, rec := runSched(t, tasks, 10000, Config{TickPeriod: 0})
+	type span struct{ s, e int64 }
+	var spans []span
+	for _, sl := range rec.slices {
+		spans = append(spans, span{sl.start, sl.end})
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].s < spans[i-1].e {
+			t.Fatalf("overlap: slice %d [%d,%d) vs previous [%d,%d)", i, spans[i].s, spans[i].e, spans[i-1].s, spans[i-1].e)
+		}
+	}
+}
+
+func TestExecutionTimeConservation(t *testing.T) {
+	// Each completed job must have received exactly its segment time.
+	task := &Task{
+		Name: "segs", Period: 500, WCET: 120,
+		Behavior: fixedBehavior(
+			Segment{Kind: Syscall, Duration: 20, Service: "read", Invocations: 2},
+			Segment{Kind: Compute, Duration: 80},
+			Segment{Kind: Syscall, Duration: 20, Service: "write", Invocations: 1},
+		),
+	}
+	s, rec := runSched(t, []*Task{task}, 5000, Config{TickPeriod: 0})
+	if s.Completed != 10 {
+		t.Fatalf("completed = %d", s.Completed)
+	}
+	if got := rec.execTime("segs"); got != 1200 {
+		t.Errorf("total exec = %d, want 1200", got)
+	}
+	// Syscall vs compute split: 400 syscall, 800 compute.
+	var sys, comp int64
+	for _, sl := range rec.slices {
+		if sl.kind == Syscall {
+			sys += sl.end - sl.start
+		} else {
+			comp += sl.end - sl.start
+		}
+	}
+	if sys != 400 || comp != 800 {
+		t.Errorf("syscall=%d compute=%d, want 400/800", sys, comp)
+	}
+}
+
+func TestDeadlineMissDetected(t *testing.T) {
+	// Overloaded: two tasks each needing 80 per 100 → guaranteed misses.
+	a := computeTask("a", 100, 80)
+	b := computeTask("b", 100, 80)
+	s, _ := runSched(t, []*Task{a, b}, 2000, Config{TickPeriod: 0})
+	if s.Missed == 0 {
+		t.Error("overload produced no deadline misses")
+	}
+}
+
+func TestTicksFire(t *testing.T) {
+	task := computeTask("a", 1000, 100)
+	_, rec := runSched(t, []*Task{task}, 10000, Config{TickPeriod: 1000})
+	// Ticks at 1000..9000.
+	if len(rec.ticks) != 9 {
+		t.Errorf("ticks = %d, want 9", len(rec.ticks))
+	}
+	for i, tk := range rec.ticks {
+		if tk != int64(i+1)*1000 {
+			t.Errorf("tick %d at %d", i, tk)
+		}
+	}
+}
+
+func TestPhaseDelaysFirstRelease(t *testing.T) {
+	task := computeTask("late", 1000, 100)
+	task.Phase = 300
+	_, rec := runSched(t, []*Task{task}, 2000, Config{TickPeriod: 0})
+	if len(rec.slices) == 0 || rec.slices[0].start != 300 {
+		t.Errorf("first slice = %+v, want start 300", rec.slices)
+	}
+}
+
+func TestContextSwitchSequence(t *testing.T) {
+	hi := computeTask("hi", 100, 20)
+	lo := computeTask("lo", 200, 100)
+	_, rec := runSched(t, []*Task{hi, lo}, 200, Config{TickPeriod: 0})
+	// t=0: idle->hi, t=20: hi->lo, t=100: lo preempted by hi's second
+	// job, t=120: back to lo, t=140: lo's 100 units are done -> idle.
+	want := []switchRec{
+		{0, "", "hi"}, {20, "hi", "lo"}, {100, "lo", "hi"}, {120, "hi", "lo"}, {140, "lo", ""},
+	}
+	if len(rec.switches) != len(want) {
+		t.Fatalf("switches = %+v", rec.switches)
+	}
+	for i, w := range want {
+		if rec.switches[i] != w {
+			t.Errorf("switch %d = %+v, want %+v", i, rec.switches[i], w)
+		}
+	}
+}
+
+func TestUtilizationAndRMBound(t *testing.T) {
+	// The paper's task set: 2/10, 3/20, 9/50, 25/100 ms → U = 0.78.
+	tasks := []*Task{
+		{Name: "FFT", Period: 10000, WCET: 2000, Behavior: fixedBehavior()},
+		{Name: "bitcount", Period: 20000, WCET: 3000, Behavior: fixedBehavior()},
+		{Name: "basicmath", Period: 50000, WCET: 9000, Behavior: fixedBehavior()},
+		{Name: "sha", Period: 100000, WCET: 25000, Behavior: fixedBehavior()},
+	}
+	u := Utilization(tasks)
+	if math.Abs(u-0.78) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.78 (paper §5.1)", u)
+	}
+	// U=0.78 exceeds the n=4 LL bound (~0.757): the sufficient test must
+	// come back false even though simulation shows the set schedulable.
+	if RMSchedulable(tasks) {
+		t.Error("LL bound unexpectedly admits U=0.78 with n=4")
+	}
+	light := []*Task{
+		{Name: "x", Period: 100, WCET: 10, Behavior: fixedBehavior()},
+		{Name: "y", Period: 200, WCET: 20, Behavior: fixedBehavior()},
+	}
+	if !RMSchedulable(light) {
+		t.Error("LL bound rejected a light set")
+	}
+}
+
+func TestPaperTaskSetSchedulesWithoutMisses(t *testing.T) {
+	// Simulation-based schedulability: the paper set runs one hyperperiod
+	// (100 ms) without deadline misses despite failing the LL bound.
+	mk := func(name string, period, wcet int64) *Task {
+		return &Task{Name: name, Period: period, WCET: wcet,
+			Behavior: fixedBehavior(Segment{Kind: Compute, Duration: wcet})}
+	}
+	tasks := []*Task{
+		mk("FFT", 10000, 2000),
+		mk("bitcount", 20000, 3000),
+		mk("basicmath", 50000, 9000),
+		mk("sha", 100000, 25000),
+	}
+	s, _ := runSched(t, tasks, 300000, Config{TickPeriod: 1000})
+	if s.Missed != 0 {
+		t.Errorf("paper task set missed %d deadlines", s.Missed)
+	}
+	if s.Completed == 0 {
+		t.Error("no jobs completed")
+	}
+}
+
+func TestAddTaskAt(t *testing.T) {
+	base := computeTask("base", 1000, 100)
+	eng := sim.NewEngine()
+	rec := &recorder{}
+	s, err := NewScheduler(eng, Config{TickPeriod: 0}, []*Task{base}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := computeTask("extra", 500, 50)
+	if err := s.AddTaskAt(2000, extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(4000); err != nil {
+		t.Fatal(err)
+	}
+	var before, after int64
+	for _, sl := range rec.slices {
+		if sl.task == "extra" {
+			if sl.start < 2000 {
+				before++
+			}
+			after += sl.end - sl.start
+		}
+	}
+	if before != 0 {
+		t.Error("extra ran before its launch time")
+	}
+	if after != 200 { // releases at 2000, 2500, 3000, 3500 → 4*50
+		t.Errorf("extra exec = %d, want 200", after)
+	}
+}
+
+func TestRemoveTaskAt(t *testing.T) {
+	victim := computeTask("victim", 500, 50)
+	other := computeTask("other", 1000, 100)
+	eng := sim.NewEngine()
+	rec := &recorder{}
+	s, err := NewScheduler(eng, Config{TickPeriod: 0}, []*Task{victim, other}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveTaskAt(1200, "victim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(4000); err != nil {
+		t.Fatal(err)
+	}
+	for _, sl := range rec.slices {
+		if sl.task == "victim" && sl.end > 1200 {
+			t.Errorf("victim executed after removal: slice [%d,%d)", sl.start, sl.end)
+		}
+	}
+	// other keeps running.
+	var otherLate int64
+	for _, sl := range rec.slices {
+		if sl.task == "other" && sl.start >= 1200 {
+			otherLate += sl.end - sl.start
+		}
+	}
+	if otherLate == 0 {
+		t.Error("other stopped after victim removal")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	jittery := &Task{
+		Name: "j", Period: 1000, WCET: 300, Seed: 7,
+		Behavior: BehaviorFunc(func(idx int64, rng *rand.Rand) []Segment {
+			d := 250 + rng.Int63n(100)
+			return []Segment{{Kind: Compute, Duration: d}}
+		}),
+	}
+	run := func() []sliceRec {
+		eng := sim.NewEngine()
+		rec := &recorder{}
+		s, err := NewScheduler(eng, Config{TickPeriod: 0}, []*Task{jittery}, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(10000); err != nil {
+			t.Fatal(err)
+		}
+		return rec.slices
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slice %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestZeroLengthJobCompletesInstantly(t *testing.T) {
+	empty := &Task{Name: "e", Period: 100, Behavior: fixedBehavior()}
+	s, rec := runSched(t, []*Task{empty}, 500, Config{TickPeriod: 0})
+	if s.Completed != s.Released || s.Completed != 5 {
+		t.Errorf("released=%d completed=%d", s.Released, s.Completed)
+	}
+	if len(rec.slices) != 0 {
+		t.Errorf("zero job produced slices: %+v", rec.slices)
+	}
+}

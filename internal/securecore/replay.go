@@ -1,0 +1,57 @@
+package securecore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/memometer"
+	"github.com/memheatmap/mhm/internal/trace"
+)
+
+// Replay feeds a captured bus trace (from Monitor.SetTraceWriter)
+// through a fresh Memometer configuration and returns the resulting heat
+// maps. This is how one capture supports many analyses: the same trace
+// can be cut at different granularities or intervals without re-running
+// the simulation. endTime closes the final interval (pass the original
+// run's horizon).
+func Replay(r *trace.Reader, cfg memometer.Config, endTime int64) ([]*heatmap.HeatMap, error) {
+	dev := memometer.New()
+	if err := dev.Configure(cfg); err != nil {
+		return nil, err
+	}
+	var maps []*heatmap.HeatMap
+	drain := func() error {
+		for dev.HasPending() {
+			hm, err := dev.Collect()
+			if err != nil {
+				return err
+			}
+			maps = append(maps, hm)
+		}
+		return nil
+	}
+	for {
+		a, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("securecore: replay: %w", err)
+		}
+		if err := dev.SnoopBurst(a.Time, a.Addr, a.Count); err != nil {
+			return nil, fmt.Errorf("securecore: replay: %w", err)
+		}
+		if err := drain(); err != nil {
+			return nil, err
+		}
+	}
+	if err := dev.Tick(endTime); err != nil {
+		return nil, fmt.Errorf("securecore: replay: %w", err)
+	}
+	if err := drain(); err != nil {
+		return nil, err
+	}
+	return maps, nil
+}

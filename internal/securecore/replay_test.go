@@ -1,0 +1,189 @@
+package securecore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/memometer"
+	"github.com/memheatmap/mhm/internal/trace"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// capturedSession runs the paper workload with a trace tap and returns
+// the trace bytes alongside the directly produced maps.
+func capturedSession(t *testing.T, gran uint64, horizon int64, seed int64) ([]byte, []*heatmap.HeatMap) {
+	t.Helper()
+	img := testImage(t)
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(img, tasks, SessionConfig{
+		Region:    heatmap.Def{AddrBase: img.Base, Size: img.Size, Gran: gran},
+		NoiseSeed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	s.Monitor.SetTraceWriter(tw)
+	maps, err := s.Run(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), maps
+}
+
+func TestReplayReproducesDirectRun(t *testing.T) {
+	raw, direct := capturedSession(t, 2048, 100_000, 4)
+	replayed, err := Replay(trace.NewReader(bytes.NewReader(raw)), memometer.Config{
+		Region:         direct[0].Def,
+		IntervalMicros: 10_000,
+	}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(direct) {
+		t.Fatalf("replayed %d maps, direct %d", len(replayed), len(direct))
+	}
+	for i := range direct {
+		d, err := replayed[i].L1Distance(direct[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Errorf("interval %d differs after replay (L1=%d)", i, d)
+		}
+	}
+}
+
+func TestReplayAtDifferentGranularity(t *testing.T) {
+	// One capture, two analyses: replaying the 2 KB capture at 8 KB must
+	// equal a direct 8 KB run with the same seed (the bus traffic is
+	// identical; only the cell mapping changes).
+	raw, _ := capturedSession(t, 2048, 100_000, 5)
+	img := testImage(t)
+	coarseDef := heatmap.Def{AddrBase: img.Base, Size: img.Size, Gran: 8192}
+	replayed, err := Replay(trace.NewReader(bytes.NewReader(raw)), memometer.Config{
+		Region:         coarseDef,
+		IntervalMicros: 10_000,
+	}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, direct := capturedSession(t, 8192, 100_000, 5)
+	if len(replayed) != len(direct) {
+		t.Fatalf("replayed %d maps, direct %d", len(replayed), len(direct))
+	}
+	for i := range direct {
+		d, err := replayed[i].L1Distance(direct[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Errorf("interval %d: cross-granularity replay differs (L1=%d)", i, d)
+		}
+	}
+}
+
+func TestReplayAtDifferentInterval(t *testing.T) {
+	// Replaying with a 20 ms interval merges adjacent 10 ms maps: the
+	// totals must be conserved.
+	raw, direct := capturedSession(t, 2048, 100_000, 6)
+	replayed, err := Replay(trace.NewReader(bytes.NewReader(raw)), memometer.Config{
+		Region:         direct[0].Def,
+		IntervalMicros: 20_000,
+	}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 5 {
+		t.Fatalf("replayed %d maps, want 5", len(replayed))
+	}
+	for i, m := range replayed {
+		want := direct[2*i].Total() + direct[2*i+1].Total()
+		if m.Total() != want {
+			t.Errorf("20 ms interval %d total %d, want %d", i, m.Total(), want)
+		}
+	}
+}
+
+func TestReplayRejectsBadConfigAndTrace(t *testing.T) {
+	if _, err := Replay(trace.NewReader(bytes.NewReader(nil)), memometer.Config{}, 0); err == nil {
+		t.Error("bad config accepted")
+	}
+	cfg := memometer.Config{
+		Region:         heatmap.Def{AddrBase: 0, Size: 0x1000, Gran: 0x100},
+		IntervalMicros: 1000,
+	}
+	if _, err := Replay(trace.NewReader(bytes.NewReader([]byte{1, 2, 3})), cfg, 0); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}
+
+func TestMultiSessionTextRegionMatchesPlainSession(t *testing.T) {
+	img := testImage(t)
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	textDef := heatmap.Def{AddrBase: img.Base, Size: img.Size, Gran: 2048}
+	multi, err := NewMultiSession(img, tasks, SessionConfig{NoiseSeed: 7}, []heatmap.Def{
+		textDef,
+		{AddrBase: 0xBF000000, Size: 1 << 20, Gran: 2048},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiMaps, err := multi.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks2, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewSession(img, tasks2, SessionConfig{Region: textDef, NoiseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainMaps, err := plain.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multiMaps[0]) != len(plainMaps) {
+		t.Fatalf("lengths: %d vs %d", len(multiMaps[0]), len(plainMaps))
+	}
+	for i := range plainMaps {
+		if d, _ := multiMaps[0][i].L1Distance(plainMaps[i]); d != 0 {
+			t.Fatalf("interval %d: multi-session .text view differs from plain session", i)
+		}
+	}
+	// Clean system never touches the module area.
+	for i, m := range multiMaps[1] {
+		if m.Total() != 0 {
+			t.Errorf("module region interval %d has %d accesses on a clean system", i, m.Total())
+		}
+	}
+}
+
+func TestMultiSessionValidation(t *testing.T) {
+	img := testImage(t)
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMultiSession(img, tasks, SessionConfig{}, nil); !errors.Is(err, ErrMonitor) {
+		t.Errorf("no regions: %v", err)
+	}
+	bad := []heatmap.Def{{AddrBase: 0, Size: 10, Gran: 3}}
+	if _, err := NewMultiSession(img, tasks, SessionConfig{}, bad); err == nil {
+		t.Error("bad region accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/memheatmap/mhm/internal/stats"
+)
+
+// ExampleQuantile shows θ_p calibration: the paper sets the detection
+// threshold to the p-quantile of normal-set densities.
+func ExampleQuantile() {
+	densities := []float64{-30, -31, -29, -32, -35, -30, -33, -31, -30, -50}
+	theta05, _ := stats.Quantile(densities, 0.005)
+	theta1, _ := stats.Quantile(densities, 0.01)
+	fmt.Printf("θ0.5 = %.2f\n", theta05)
+	fmt.Printf("θ1   = %.2f\n", theta1)
+	fmt.Println("ordered:", theta05 <= theta1)
+	// Output:
+	// θ0.5 = -49.33
+	// θ1   = -48.65
+	// ordered: true
+}

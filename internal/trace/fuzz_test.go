@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader hardens the trace deserializer: arbitrary bytes must never
+// panic, and whatever parses must re-serialize identically.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Access{Time: 1, Addr: 0xC0008000, Count: 3})
+	_ = w.Write(Access{Time: 2, Addr: 0xC0009000, Count: 7})
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x4d, 0x48, 0x4d}) // magic bytes reversed
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var events []Access
+		for {
+			a, err := r.Read()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return // malformed input rejected; fine
+			}
+			events = append(events, a)
+			if len(events) > 1<<16 {
+				t.Fatal("unbounded parse") // 20-byte records cap this
+			}
+		}
+		// Round trip.
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		for _, e := range events {
+			if err := w.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewReader(&out).ReadAll()
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("round trip changed count: %d vs %d", len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("event %d changed", i)
+			}
+		}
+	})
+}

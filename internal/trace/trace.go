@@ -1,0 +1,188 @@
+// Package trace defines the memory-access event stream flowing from the
+// simulated monitored core to the Memometer, plus buffering and
+// serialization so traces can be captured once and replayed through many
+// detector configurations.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Access is one snooped address-bus event. The hardware model supports
+// bursts: Count unit fetches starting at Addr, all attributed to Addr's
+// cell (bursts in this simulator never straddle cell boundaries; the
+// kernel model splits them beforehand).
+type Access struct {
+	// Time is the simulation time of the event in microseconds.
+	Time int64
+	// Addr is the (virtual) address being fetched.
+	Addr uint64
+	// Count is the number of fetches in the burst; zero-count events are
+	// ignored by consumers.
+	Count uint32
+}
+
+// Ring is a fixed-capacity ring buffer of Access events with
+// overwrite-oldest semantics, mirroring a bounded hardware capture
+// buffer. Not safe for concurrent use.
+type Ring struct {
+	buf   []Access
+	head  int // index of oldest element
+	count int
+	drops uint64
+}
+
+// NewRing returns a ring that retains the most recent capacity events.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("trace: NewRing: capacity %d must be positive", capacity)
+	}
+	return &Ring{buf: make([]Access, capacity)}, nil
+}
+
+// Push appends an event, overwriting the oldest one when full.
+func (r *Ring) Push(a Access) {
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = a
+		r.count++
+		return
+	}
+	r.buf[r.head] = a
+	r.head = (r.head + 1) % len(r.buf)
+	r.drops++
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int { return r.count }
+
+// Drops returns how many events have been overwritten.
+func (r *Ring) Drops() uint64 { return r.drops }
+
+// Snapshot returns the retained events, oldest first.
+func (r *Ring) Snapshot() []Access {
+	out := make([]Access, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Reset empties the ring without releasing storage.
+func (r *Ring) Reset() {
+	r.head, r.count, r.drops = 0, 0, 0
+}
+
+// binaryMagic guards the trace file framing.
+const binaryMagic = uint32(0x4d484d54) // "MHMT"
+
+// ErrBadTrace is returned when a serialized trace is malformed.
+var ErrBadTrace = errors.New("trace: malformed trace stream")
+
+// Writer serializes Access events to a compact binary stream.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	begun bool
+}
+
+// NewWriter wraps w for trace output.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one event.
+func (tw *Writer) Write(a Access) error {
+	if !tw.begun {
+		if err := binary.Write(tw.w, binary.LittleEndian, binaryMagic); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+		tw.begun = true
+	}
+	var rec [20]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(a.Time))
+	binary.LittleEndian.PutUint64(rec[8:16], a.Addr)
+	binary.LittleEndian.PutUint32(rec[16:20], a.Count)
+	if _, err := tw.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of events written.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush flushes buffered output; call once after the last Write.
+func (tw *Writer) Flush() error {
+	if !tw.begun {
+		// An empty trace still carries the header so readers can
+		// distinguish "empty" from "not a trace".
+		if err := binary.Write(tw.w, binary.LittleEndian, binaryMagic); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+		tw.begun = true
+	}
+	return tw.w.Flush()
+}
+
+// Reader deserializes a stream produced by Writer.
+type Reader struct {
+	r     *bufio.Reader
+	begun bool
+}
+
+// NewReader wraps r for trace input.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next event, or io.EOF at end of stream.
+func (tr *Reader) Read() (Access, error) {
+	if !tr.begun {
+		var magic uint32
+		if err := binary.Read(tr.r, binary.LittleEndian, &magic); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Access{}, fmt.Errorf("trace: missing header: %w", ErrBadTrace)
+			}
+			return Access{}, err
+		}
+		if magic != binaryMagic {
+			return Access{}, fmt.Errorf("trace: bad magic %#x: %w", magic, ErrBadTrace)
+		}
+		tr.begun = true
+	}
+	var rec [20]byte
+	if _, err := io.ReadFull(tr.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Access{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Access{}, fmt.Errorf("trace: truncated record: %w", ErrBadTrace)
+		}
+		return Access{}, err
+	}
+	return Access{
+		Time:  int64(binary.LittleEndian.Uint64(rec[0:8])),
+		Addr:  binary.LittleEndian.Uint64(rec[8:16]),
+		Count: binary.LittleEndian.Uint32(rec[16:20]),
+	}, nil
+}
+
+// ReadAll drains the stream into a slice.
+func (tr *Reader) ReadAll() ([]Access, error) {
+	var out []Access
+	for {
+		a, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r, err := NewRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("empty Len = %d", r.Len())
+	}
+	r.Push(Access{Time: 1})
+	r.Push(Access{Time: 2})
+	if got := r.Snapshot(); len(got) != 2 || got[0].Time != 1 || got[1].Time != 2 {
+		t.Errorf("Snapshot = %v", got)
+	}
+	if r.Drops() != 0 {
+		t.Errorf("Drops = %d", r.Drops())
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r, _ := NewRing(3)
+	for i := int64(1); i <= 5; i++ {
+		r.Push(Access{Time: i})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("Len = %d, want 3", len(got))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if got[i].Time != want {
+			t.Errorf("Snapshot[%d].Time = %d, want %d", i, got[i].Time, want)
+		}
+	}
+	if r.Drops() != 2 {
+		t.Errorf("Drops = %d, want 2", r.Drops())
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Drops() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestRingRejectsBadCapacity(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewRing(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	events := make([]Access, 500)
+	for i := range events {
+		events[i] = Access{
+			Time:  rng.Int63n(1 << 40),
+			Addr:  0xC0008000 + uint64(rng.Intn(1<<21)),
+			Count: uint32(rng.Intn(1000)),
+		}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 500 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty trace yielded %d events", len(got))
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5})).ReadAll()
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("garbage: err = %v, want ErrBadTrace", err)
+	}
+	_, err = NewReader(bytes.NewReader(nil)).ReadAll()
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("empty stream: err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestReaderRejectsTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Access{Time: 1, Addr: 2, Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	r := NewReader(bytes.NewReader(b[:len(b)-5]))
+	if _, err := r.Read(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("truncated: err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestReaderEOFAfterLast(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Access{Time: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}
+
+func TestRoundTripQuickProperty(t *testing.T) {
+	// Property: any event sequence survives serialization untouched.
+	f := func(times []int64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		events := make([]Access, len(times))
+		for i, tm := range times {
+			events[i] = Access{Time: tm, Addr: rng.Uint64(), Count: rng.Uint32()}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, e := range events {
+			if w.Write(e) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil || len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

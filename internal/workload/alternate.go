@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+)
+
+// A second MiBench-style task set, used to show the detector is not
+// tuned to the paper's particular four applications: different periods,
+// different kernel-service mixes (network- and mm-heavy), same
+// methodology.
+
+// CRC32Spec returns a small, high-rate telecomm checksum task
+// (1 ms / 5 ms).
+func CRC32Spec() AppSpec {
+	// Syscalls: 2 entries (4) + 2 reads (36) = 40 µs.
+	return AppSpec{
+		Name: "crc32", Period: 5000, ExecTime: 1000, Seed: 201,
+		Script: []ScriptStep{
+			Call(kernelmap.SvcSyscallEntry, 2),
+			Call(kernelmap.SvcRead, 2),
+			Compute(960),
+		},
+	}
+}
+
+// DijkstraSpec returns a network shortest-path task (5 ms / 25 ms) with
+// socket traffic.
+func DijkstraSpec() AppSpec {
+	// Syscalls: 2 entries (4) + open (30) + 3 reads (54) + 2 sockets
+	// (70) + write (16) = 174 µs.
+	return AppSpec{
+		Name: "dijkstra", Period: 25000, ExecTime: 5000, Seed: 202,
+		Script: []ScriptStep{
+			Call(kernelmap.SvcSyscallEntry, 2),
+			Call(kernelmap.SvcOpen, 1),
+			Call(kernelmap.SvcRead, 3),
+			Call(kernelmap.SvcSocket, 2),
+			Compute(4826),
+			Call(kernelmap.SvcWrite, 1),
+		},
+	}
+}
+
+// SusanSpec returns an image-processing task (12 ms / 60 ms) with
+// memory-mapped input.
+func SusanSpec() AppSpec {
+	// Syscalls: 2 entries (4) + mmap (40) + 2 page faults (24) +
+	// 2 reads (36) + write (16) = 120 µs.
+	return AppSpec{
+		Name: "susan", Period: 60000, ExecTime: 12000, Seed: 203,
+		Script: []ScriptStep{
+			Call(kernelmap.SvcSyscallEntry, 2),
+			Call(kernelmap.SvcMmap, 1),
+			Call(kernelmap.SvcPageFault, 2),
+			Call(kernelmap.SvcRead, 2),
+			Compute(11880),
+			Call(kernelmap.SvcWrite, 1),
+		},
+	}
+}
+
+// PatriciaSpec returns a routing-table task (4 ms / 40 ms) mixing
+// network and pipe IPC.
+func PatriciaSpec() AppSpec {
+	// Syscalls: 2 entries (4) + 2 sockets (70) + pipe (22) + 2 reads
+	// (36) + write (16) = 148 µs.
+	return AppSpec{
+		Name: "patricia", Period: 40000, ExecTime: 4000, Seed: 204,
+		Script: []ScriptStep{
+			Call(kernelmap.SvcSyscallEntry, 2),
+			Call(kernelmap.SvcSocket, 2),
+			Call(kernelmap.SvcPipe, 1),
+			Call(kernelmap.SvcRead, 2),
+			Compute(3852),
+			Call(kernelmap.SvcWrite, 1),
+		},
+	}
+}
+
+// AlternateTaskSet builds the second workload (utilization 0.70, hyper-
+// period 600 ms).
+func AlternateTaskSet(img *kernelmap.Image) ([]*rtos.Task, error) {
+	specs := []AppSpec{CRC32Spec(), DijkstraSpec(), SusanSpec(), PatriciaSpec()}
+	tasks := make([]*rtos.Task, len(specs))
+	for i, sp := range specs {
+		t, err := BuildTask(img, sp)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	return tasks, nil
+}

@@ -1,0 +1,269 @@
+// Package workload models the benchmark applications of the paper's
+// evaluation as periodic real-time tasks: each job is a script of
+// user-space compute segments interleaved with kernel service
+// invocations. The kernel services — not the user computation — are what
+// the Memometer observes, so a task's observable signature is its
+// syscall mix and timing, which these models reproduce.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+)
+
+// ErrSpec wraps invalid application specifications.
+var ErrSpec = errors.New("workload: invalid specification")
+
+// JitterFrac is the relative execution-time jitter applied to compute
+// segments (±2%), modeling cache and input variation of real jobs.
+const JitterFrac = 0.02
+
+// AppSpec describes a periodic application.
+type AppSpec struct {
+	Name string
+	// Period and ExecTime in microseconds (the paper's table is in ms).
+	Period   int64
+	ExecTime int64
+	// Script is the job body; its syscall time plus compute time should
+	// equal ExecTime (BuildTask validates this).
+	Script []ScriptStep
+	// Seed isolates the app's jitter stream.
+	Seed int64
+}
+
+// StepKind says what a script step does.
+type StepKind int
+
+const (
+	// StepCompute burns user-space CPU time.
+	StepCompute StepKind = iota
+	// StepSyscall invokes a kernel service N times back to back.
+	StepSyscall
+)
+
+// ScriptStep is one phase of a job.
+type ScriptStep struct {
+	Kind StepKind
+	// Micros is the compute duration for StepCompute.
+	Micros int64
+	// Service and Count describe StepSyscall.
+	Service string
+	Count   int
+}
+
+// Compute returns a compute step.
+func Compute(micros int64) ScriptStep {
+	return ScriptStep{Kind: StepCompute, Micros: micros}
+}
+
+// Call returns a syscall step.
+func Call(service string, count int) ScriptStep {
+	return ScriptStep{Kind: StepSyscall, Service: service, Count: count}
+}
+
+// BuildTask converts an AppSpec into an rtos.Task whose jobs follow the
+// script. Kernel time per syscall comes from the image's service
+// catalog; compute time receives ±2% jitter per job.
+func BuildTask(img *kernelmap.Image, spec AppSpec) (*rtos.Task, error) {
+	if spec.Name == "" || spec.Period <= 0 || spec.ExecTime <= 0 {
+		return nil, fmt.Errorf("workload: app %q period=%d exec=%d: %w",
+			spec.Name, spec.Period, spec.ExecTime, ErrSpec)
+	}
+	if len(spec.Script) == 0 {
+		return nil, fmt.Errorf("workload: app %q has empty script: %w", spec.Name, ErrSpec)
+	}
+	// Resolve services once and check the time budget.
+	var scriptTime int64
+	type resolved struct {
+		step ScriptStep
+		svc  *kernelmap.Service
+	}
+	steps := make([]resolved, len(spec.Script))
+	for i, st := range spec.Script {
+		switch st.Kind {
+		case StepCompute:
+			if st.Micros <= 0 {
+				return nil, fmt.Errorf("workload: app %q step %d: non-positive compute: %w", spec.Name, i, ErrSpec)
+			}
+			scriptTime += st.Micros
+			steps[i] = resolved{step: st}
+		case StepSyscall:
+			if st.Count <= 0 {
+				return nil, fmt.Errorf("workload: app %q step %d: non-positive count: %w", spec.Name, i, ErrSpec)
+			}
+			svc, err := img.Service(st.Service)
+			if err != nil {
+				return nil, fmt.Errorf("workload: app %q step %d: %w", spec.Name, i, err)
+			}
+			scriptTime += svc.KernelTime * int64(st.Count)
+			steps[i] = resolved{step: st, svc: svc}
+		default:
+			return nil, fmt.Errorf("workload: app %q step %d: unknown kind %d: %w", spec.Name, i, st.Kind, ErrSpec)
+		}
+	}
+	// The script must fill the spec's execution time within 10%; large
+	// drift means the model no longer matches the paper's table.
+	drift := float64(scriptTime-spec.ExecTime) / float64(spec.ExecTime)
+	if drift > 0.10 || drift < -0.10 {
+		return nil, fmt.Errorf("workload: app %q script time %d vs exec time %d (drift %.1f%%): %w",
+			spec.Name, scriptTime, spec.ExecTime, 100*drift, ErrSpec)
+	}
+
+	behavior := rtos.BehaviorFunc(func(jobIdx int64, rng *rand.Rand) []rtos.Segment {
+		segs := make([]rtos.Segment, 0, len(steps))
+		for _, r := range steps {
+			switch r.step.Kind {
+			case StepCompute:
+				d := r.step.Micros
+				j := 1 + JitterFrac*(2*rng.Float64()-1)
+				d = int64(float64(d) * j)
+				if d < 1 {
+					d = 1
+				}
+				segs = append(segs, rtos.Segment{Kind: rtos.Compute, Duration: d})
+			case StepSyscall:
+				segs = append(segs, rtos.Segment{
+					Kind:        rtos.Syscall,
+					Duration:    r.svc.KernelTime * int64(r.step.Count),
+					Service:     r.step.Service,
+					Invocations: r.step.Count,
+				})
+			}
+		}
+		return segs
+	})
+
+	return &rtos.Task{
+		Name:     spec.Name,
+		Period:   spec.Period,
+		WCET:     spec.ExecTime,
+		Behavior: behavior,
+		Seed:     spec.Seed,
+	}, nil
+}
+
+// The paper's §5.1 task set (execution time / period):
+//
+//	FFT        2 ms / 10 ms   (telecomm)
+//	bitcount   3 ms / 20 ms   (automotive)
+//	basicmath  9 ms / 50 ms   (automotive)
+//	sha       25 ms /100 ms   (security)
+//
+// plus qsort (6 ms / 30 ms) used by the application-addition scenario.
+// Scripts are constructed so syscall kernel time + compute time equals
+// the paper's execution time.
+
+// FFTSpec returns the FFT application model: telecomm data in/out with a
+// compute core.
+func FFTSpec() AppSpec {
+	// Syscall time: 2 reads (36) + 1 write (16) + 3 entries (6) = 58 µs.
+	return AppSpec{
+		Name: "FFT", Period: 10000, ExecTime: 2000, Seed: 101,
+		Script: []ScriptStep{
+			Call(kernelmap.SvcSyscallEntry, 3),
+			Call(kernelmap.SvcRead, 2),
+			Compute(1926),
+			Call(kernelmap.SvcWrite, 1),
+		},
+	}
+}
+
+// BitcountSpec returns the bitcount model: compute-dominated with light
+// I/O — the host the shellcode scenario infects.
+func BitcountSpec() AppSpec {
+	// Syscall time: 1 read (18) + 1 write (16) + 2 entries (4) = 38 µs.
+	return AppSpec{
+		Name: "bitcount", Period: 20000, ExecTime: 3000, Seed: 102,
+		Script: []ScriptStep{
+			Call(kernelmap.SvcSyscallEntry, 2),
+			Call(kernelmap.SvcRead, 1),
+			Compute(2946),
+			Call(kernelmap.SvcWrite, 1),
+		},
+	}
+}
+
+// BasicmathSpec returns the basicmath model: long compute with periodic
+// result writes.
+func BasicmathSpec() AppSpec {
+	// Syscall time: 4 writes (64) + 4 entries (8) = 72 µs.
+	return AppSpec{
+		Name: "basicmath", Period: 50000, ExecTime: 9000, Seed: 103,
+		Script: []ScriptStep{
+			Compute(2232),
+			Call(kernelmap.SvcWrite, 1),
+			Call(kernelmap.SvcSyscallEntry, 1),
+			Compute(2232),
+			Call(kernelmap.SvcWrite, 1),
+			Call(kernelmap.SvcSyscallEntry, 1),
+			Compute(2232),
+			Call(kernelmap.SvcWrite, 1),
+			Call(kernelmap.SvcSyscallEntry, 1),
+			Compute(2232),
+			Call(kernelmap.SvcWrite, 1),
+			Call(kernelmap.SvcSyscallEntry, 1),
+		},
+	}
+}
+
+// ShaSpec returns the sha model: read-heavy hashing, the task whose
+// timing the rootkit's read hijack perturbs (paper §5.3, scenario 3).
+func ShaSpec() AppSpec {
+	// 40 reads in 8 batches of 5: 40*18 = 720, 8 entries*2 = 16,
+	// 1 open 30 + 1 close 10 + 2 writes 32 + 3 entries 6.
+	// Syscall total = 720 + 16 + 30 + 10 + 32 + 6 = 814 µs.
+	steps := []ScriptStep{
+		Call(kernelmap.SvcSyscallEntry, 1),
+		Call(kernelmap.SvcOpen, 1),
+	}
+	for i := 0; i < 8; i++ {
+		steps = append(steps,
+			Call(kernelmap.SvcSyscallEntry, 1),
+			Call(kernelmap.SvcRead, 5),
+			Compute(3023),
+		)
+	}
+	steps = append(steps,
+		Call(kernelmap.SvcSyscallEntry, 2),
+		Call(kernelmap.SvcWrite, 2),
+		Call(kernelmap.SvcClose, 1),
+	)
+	return AppSpec{Name: "sha", Period: 100000, ExecTime: 25000, Seed: 104, Script: steps}
+}
+
+// QsortSpec returns the qsort model used by the application-addition
+// scenario (exec 6 ms, period 30 ms).
+func QsortSpec() AppSpec {
+	// Syscall time: 4 reads (72) + 2 writes (32) + 1 open (30) +
+	// 1 close (10) + 4 entries (8) = 152 µs.
+	return AppSpec{
+		Name: "qsort", Period: 30000, ExecTime: 6000, Seed: 105,
+		Script: []ScriptStep{
+			Call(kernelmap.SvcSyscallEntry, 2),
+			Call(kernelmap.SvcOpen, 1),
+			Call(kernelmap.SvcRead, 4),
+			Compute(5848),
+			Call(kernelmap.SvcSyscallEntry, 2),
+			Call(kernelmap.SvcWrite, 2),
+			Call(kernelmap.SvcClose, 1),
+		},
+	}
+}
+
+// PaperTaskSet builds the four-task baseline workload from §5.1.
+func PaperTaskSet(img *kernelmap.Image) ([]*rtos.Task, error) {
+	specs := []AppSpec{FFTSpec(), BitcountSpec(), BasicmathSpec(), ShaSpec()}
+	tasks := make([]*rtos.Task, len(specs))
+	for i, sp := range specs {
+		t, err := BuildTask(img, sp)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	return tasks, nil
+}

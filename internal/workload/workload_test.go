@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+)
+
+func testImage(t *testing.T) *kernelmap.Image {
+	t.Helper()
+	img, err := kernelmap.NewImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestPaperTaskSetTimings(t *testing.T) {
+	img := testImage(t)
+	tasks, err := PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]int64{ // name -> {exec µs, period µs} from §5.1
+		"FFT":       {2000, 10000},
+		"bitcount":  {3000, 20000},
+		"basicmath": {9000, 50000},
+		"sha":       {25000, 100000},
+	}
+	if len(tasks) != len(want) {
+		t.Fatalf("task count = %d", len(tasks))
+	}
+	for _, task := range tasks {
+		w, ok := want[task.Name]
+		if !ok {
+			t.Errorf("unexpected task %s", task.Name)
+			continue
+		}
+		if task.WCET != w[0] || task.Period != w[1] {
+			t.Errorf("%s: wcet/period = %d/%d, want %d/%d", task.Name, task.WCET, task.Period, w[0], w[1])
+		}
+	}
+	// Utilization: 78% as stated in the paper's footnote.
+	if u := rtos.Utilization(tasks); math.Abs(u-0.78) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.78", u)
+	}
+}
+
+func TestJobSegmentTimesMatchExecTime(t *testing.T) {
+	img := testImage(t)
+	for _, spec := range []AppSpec{FFTSpec(), BitcountSpec(), BasicmathSpec(), ShaSpec(), QsortSpec()} {
+		task, err := BuildTask(img, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for job := int64(0); job < 20; job++ {
+			segs := task.Behavior.NewJob(job, rng)
+			var total int64
+			for _, s := range segs {
+				total += s.Duration
+			}
+			// Within jitter + drift tolerance of the nominal exec time.
+			rel := math.Abs(float64(total-spec.ExecTime)) / float64(spec.ExecTime)
+			if rel > 0.05 {
+				t.Errorf("%s job %d: duration %d vs exec %d (%.1f%%)", spec.Name, job, total, spec.ExecTime, 100*rel)
+			}
+		}
+	}
+}
+
+func TestJobsJitterButStayDeterministic(t *testing.T) {
+	img := testImage(t)
+	task, err := BuildTask(img, FFTSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rand.New(rand.NewSource(5))
+	r2 := rand.New(rand.NewSource(5))
+	sawDifferent := false
+	var prev int64 = -1
+	for job := int64(0); job < 10; job++ {
+		a := task.Behavior.NewJob(job, r1)
+		b := task.Behavior.NewJob(job, r2)
+		if len(a) != len(b) {
+			t.Fatal("same seed produced different segment counts")
+		}
+		var ta int64
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("same seed produced different segments")
+			}
+			ta += a[i].Duration
+		}
+		if prev >= 0 && ta != prev {
+			sawDifferent = true
+		}
+		prev = ta
+	}
+	if !sawDifferent {
+		t.Error("no jitter across jobs; MHM training needs execution variation")
+	}
+}
+
+func TestShaIsReadHeavy(t *testing.T) {
+	// The rootkit scenario depends on sha being the read-dominated task.
+	img := testImage(t)
+	countReads := func(spec AppSpec) int {
+		task, err := BuildTask(img, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		n := 0
+		for _, s := range task.Behavior.NewJob(0, rng) {
+			if s.Kind == rtos.Syscall && s.Service == kernelmap.SvcRead {
+				n += s.Invocations
+			}
+		}
+		return n
+	}
+	sha := countReads(ShaSpec())
+	for _, other := range []AppSpec{FFTSpec(), BitcountSpec(), BasicmathSpec()} {
+		if o := countReads(other); o >= sha {
+			t.Errorf("%s has %d reads >= sha's %d", other.Name, o, sha)
+		}
+	}
+	if sha < 20 {
+		t.Errorf("sha reads = %d; expected many (paper: 'uses many read system calls')", sha)
+	}
+}
+
+func TestBuildTaskValidation(t *testing.T) {
+	img := testImage(t)
+	cases := []struct {
+		name string
+		spec AppSpec
+	}{
+		{"empty name", AppSpec{Period: 10, ExecTime: 10, Script: []ScriptStep{Compute(10)}}},
+		{"zero period", AppSpec{Name: "x", ExecTime: 10, Script: []ScriptStep{Compute(10)}}},
+		{"zero exec", AppSpec{Name: "x", Period: 10, Script: []ScriptStep{Compute(10)}}},
+		{"empty script", AppSpec{Name: "x", Period: 10, ExecTime: 10}},
+		{"zero compute", AppSpec{Name: "x", Period: 10, ExecTime: 10, Script: []ScriptStep{Compute(0)}}},
+		{"zero count", AppSpec{Name: "x", Period: 10, ExecTime: 10, Script: []ScriptStep{Call(kernelmap.SvcRead, 0)}}},
+		{"bad service", AppSpec{Name: "x", Period: 10, ExecTime: 18, Script: []ScriptStep{Call("nope", 1)}}},
+		{"drift too large", AppSpec{Name: "x", Period: 10000, ExecTime: 5000, Script: []ScriptStep{Compute(1000)}}},
+	}
+	for _, c := range cases {
+		if _, err := BuildTask(img, c.spec); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !errors.Is(err, ErrSpec) && !errors.Is(err, kernelmap.ErrUnknownService) {
+			t.Errorf("%s: unexpected error class: %v", c.name, err)
+		}
+	}
+}
+
+func TestScriptStepConstructors(t *testing.T) {
+	c := Compute(500)
+	if c.Kind != StepCompute || c.Micros != 500 {
+		t.Errorf("Compute = %+v", c)
+	}
+	s := Call(kernelmap.SvcRead, 3)
+	if s.Kind != StepSyscall || s.Service != kernelmap.SvcRead || s.Count != 3 {
+		t.Errorf("Call = %+v", s)
+	}
+}
+
+func TestQsortSpecShape(t *testing.T) {
+	spec := QsortSpec()
+	if spec.Period != 30000 || spec.ExecTime != 6000 {
+		t.Errorf("qsort timing = %d/%d, want 6000/30000 (paper §5.3)", spec.ExecTime, spec.Period)
+	}
+}
+
+func TestAlternateTaskSet(t *testing.T) {
+	img := testImage(t)
+	tasks, err := AlternateTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 4 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	u := rtos.Utilization(tasks)
+	if math.Abs(u-0.70) > 1e-9 {
+		t.Errorf("alternate utilization = %g, want 0.70", u)
+	}
+	names := map[string]bool{}
+	for _, task := range tasks {
+		names[task.Name] = true
+	}
+	for _, want := range []string{"crc32", "dijkstra", "susan", "patricia"} {
+		if !names[want] {
+			t.Errorf("missing task %s", want)
+		}
+	}
+}
+
+func TestAlternateSpecsBalanceBudgets(t *testing.T) {
+	img := testImage(t)
+	for _, spec := range []AppSpec{CRC32Spec(), DijkstraSpec(), SusanSpec(), PatriciaSpec()} {
+		task, err := BuildTask(img, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		segs := task.Behavior.NewJob(0, rng)
+		var total int64
+		for _, s := range segs {
+			total += s.Duration
+		}
+		rel := math.Abs(float64(total-spec.ExecTime)) / float64(spec.ExecTime)
+		if rel > 0.05 {
+			t.Errorf("%s: job duration %d vs exec %d", spec.Name, total, spec.ExecTime)
+		}
+	}
+}
