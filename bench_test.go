@@ -16,6 +16,7 @@ import (
 	"github.com/memheatmap/mhm/internal/heatmap"
 	"github.com/memheatmap/mhm/internal/kernelmap"
 	"github.com/memheatmap/mhm/internal/memometer"
+	"github.com/memheatmap/mhm/internal/obs"
 	"github.com/memheatmap/mhm/internal/pca"
 	"github.com/memheatmap/mhm/internal/workload"
 )
@@ -169,6 +170,17 @@ func benchClassify(b *testing.B, det *core.Detector, vecs [][]float64) {
 func BenchmarkAnalysisTime_L1472_Lp9_J5(b *testing.B) {
 	fixtures(b)
 	benchClassify(b, fixDet9, fixVecs)
+}
+
+// BenchmarkAnalysisTimeInstrumented_L1472_Lp9_J5 is the base
+// configuration with live obs histograms on both stages — compare
+// against BenchmarkAnalysisTime_L1472_Lp9_J5 to see the
+// instrumentation overhead (budget: under 5%).
+func BenchmarkAnalysisTimeInstrumented_L1472_Lp9_J5(b *testing.B) {
+	fixtures(b)
+	det := *fixDet9
+	det.Instrument(obs.NewRegistry())
+	benchClassify(b, &det, fixVecs)
 }
 
 // BenchmarkAnalysisTime_L368_Lp9_J5 is the coarse-granularity

@@ -9,6 +9,12 @@
 // Detect over a scenario:
 //
 //	mhmdetect -model detector.json -scenario rootkit [-duration 4000] [-event 1500]
+//	          [-metrics <path|->]
+//
+// With -metrics, detection additionally runs the online pipeline
+// (per-interval classification, alarm debouncing, deadline accounting)
+// and dumps an observability snapshot — stage latencies, interval and
+// overrun counters, alarm transitions — as JSON at exit.
 package main
 
 import (
@@ -21,7 +27,9 @@ import (
 	"github.com/memheatmap/mhm/internal/experiments"
 	"github.com/memheatmap/mhm/internal/gmm"
 	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/obs"
 	"github.com/memheatmap/mhm/internal/pca"
+	"github.com/memheatmap/mhm/internal/pipeline"
 	"github.com/memheatmap/mhm/internal/securecore"
 	"github.com/memheatmap/mhm/internal/stats"
 	"github.com/memheatmap/mhm/internal/workload"
@@ -37,13 +45,14 @@ func main() {
 	eventMs := flag.Int64("event", 1500, "scenario event time in ms")
 	seed := flag.Int64("seed", 1, "platform seed")
 	residual := flag.Bool("residual", false, "calibrate/apply the residual (distance-from-memory-space) extension")
+	metrics := flag.String("metrics", "", "detect mode: dump a metrics snapshot to this path at exit (- for stdout)")
 	flag.Parse()
 
 	var err error
 	if *train {
 		err = trainCmd(*model, *runs, *runMs, *seed, *residual)
 	} else {
-		err = detectCmd(*model, *scenario, *durationMs, *eventMs, *seed, *residual)
+		err = detectCmd(*model, *scenario, *durationMs, *eventMs, *seed, *residual, *metrics)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mhmdetect:", err)
@@ -106,7 +115,7 @@ func trainCmd(model string, runs int, runMs int64, seed int64, residual bool) er
 	return nil
 }
 
-func detectCmd(model, scenario string, durationMs, eventMs, seed int64, residual bool) error {
+func detectCmd(model, scenario string, durationMs, eventMs, seed int64, residual bool, metricsPath string) error {
 	f, err := os.Open(model)
 	if err != nil {
 		return fmt.Errorf("open model (train one first with -train): %w", err)
@@ -115,6 +124,20 @@ func detectCmd(model, scenario string, durationMs, eventMs, seed int64, residual
 	f.Close()
 	if err != nil {
 		return err
+	}
+
+	// Observability: instrument every stage of the online loop and run
+	// the real per-interval pipeline alongside the batch classification.
+	var (
+		reg *obs.Registry
+		pl  *pipeline.Pipeline
+	)
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+		det.Instrument(reg)
+		if pl, err = pipeline.New(det, pipeline.Config{Quantile: 0.01, Metrics: reg}); err != nil {
+			return err
+		}
 	}
 
 	img, err := kernelmap.NewImage(seed)
@@ -133,13 +156,20 @@ func detectCmd(model, scenario string, durationMs, eventMs, seed int64, residual
 	default:
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}
-	session, err := attack.BuildScenarioSession(img, sc, securecore.SessionConfig{
+	cfg := securecore.SessionConfig{
 		Region:         det.Region,
 		IntervalMicros: 10000,
 		NoiseSeed:      seed + 5000, // fresh data, not the training seeds
-	})
+	}
+	if pl != nil {
+		cfg.OnMHM = pl.Process
+	}
+	session, err := attack.BuildScenarioSession(img, sc, cfg)
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		session.Monitor.SetMetrics(reg)
 	}
 	maps, err := session.Run(durationMs * 1000)
 	if err != nil {
@@ -175,5 +205,13 @@ func detectCmd(model, scenario string, durationMs, eventMs, seed int64, residual
 	}
 	fmt.Fprintf(os.Stderr, "mhmdetect: scenario=%s intervals=%d alarms=%d\n",
 		scenario, len(verdicts), alarmTotal)
+	if reg != nil {
+		bud := pl.Budget()
+		fmt.Fprintf(os.Stderr, "mhmdetect: online analysis mean=%.1fµs max=%.1fµs overruns=%d raises=%d\n",
+			bud.MeanMicros, bud.MaxMicros, bud.Overruns, len(pl.Alarms()))
+		if err := reg.DumpFile(metricsPath); err != nil {
+			return fmt.Errorf("dump metrics: %w", err)
+		}
+	}
 	return nil
 }

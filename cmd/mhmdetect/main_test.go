@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/memheatmap/mhm/internal/obs"
 )
 
 func TestTrainThenDetectEndToEnd(t *testing.T) {
@@ -19,14 +21,47 @@ func TestTrainThenDetectEndToEnd(t *testing.T) {
 		t.Fatalf("model file: %v", err)
 	}
 	for _, scenario := range []string{"clean", "rootkit"} {
-		if err := detectCmd(model, scenario, 500, 250, 1, true); err != nil {
+		if err := detectCmd(model, scenario, 500, 250, 1, true, ""); err != nil {
 			t.Errorf("%s: %v", scenario, err)
 		}
 	}
-	if err := detectCmd(model, "bogus", 500, 250, 1, false); err == nil {
+	if err := detectCmd(model, "bogus", 500, 250, 1, false, ""); err == nil {
 		t.Error("bogus scenario accepted")
 	}
-	if err := detectCmd(filepath.Join(t.TempDir(), "missing.json"), "clean", 500, 250, 1, false); err == nil {
+	if err := detectCmd(filepath.Join(t.TempDir(), "missing.json"), "clean", 500, 250, 1, false, ""); err == nil {
 		t.Error("missing model accepted")
+	}
+
+	// -metrics: the snapshot must land on disk, parse against the
+	// frozen schema, and carry the online loop's core series.
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+	if err := detectCmd(model, "rootkit", 500, 250, 1, false, metricsPath); err != nil {
+		t.Fatalf("detect with metrics: %v", err)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["pipeline.intervals"]; got != 50 {
+		t.Errorf("pipeline.intervals = %d, want 50 (500 ms / 10 ms)", got)
+	}
+	for _, name := range []string{"pipeline.overruns", "alarm.raised", "memometer.snooped", "securecore.mhm_emitted"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %q missing from snapshot", name)
+		}
+	}
+	for _, name := range []string{"pipeline.analysis_micros", "core.project_micros", "core.score_micros"} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("histogram %q missing from snapshot", name)
+			continue
+		}
+		if h.Count == 0 {
+			t.Errorf("histogram %q recorded nothing", name)
+		}
 	}
 }

@@ -7,6 +7,11 @@
 //
 //	mhmsim [-scenario clean|app-addition|shellcode|rootkit] [-duration ms]
 //	       [-event ms] [-gran bytes] [-seed N] [-cells] [-render N] [-out file]
+//	       [-metrics <path|->]
+//
+// With -metrics, the run dumps a JSON observability snapshot of the
+// monitoring front end (addresses snooped/filtered, buffer swaps,
+// dropped intervals) at exit.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"github.com/memheatmap/mhm/internal/attack"
 	"github.com/memheatmap/mhm/internal/heatmap"
 	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/obs"
 	"github.com/memheatmap/mhm/internal/securecore"
 	"github.com/memheatmap/mhm/internal/trace"
 	"github.com/memheatmap/mhm/internal/workload"
@@ -34,9 +40,10 @@ func main() {
 	render := flag.Int("render", -1, "render interval N as an ASCII heat map instead of CSV")
 	out := flag.String("out", "-", "output file (- for stdout)")
 	tracePath := flag.String("trace", "", "also capture the raw bus trace to this file (replayable)")
+	metrics := flag.String("metrics", "", "dump a metrics snapshot to this path at exit (- for stdout)")
 	flag.Parse()
 
-	if err := run(*scenario, *durationMs, *eventMs, *gran, *seed, *withCells, *render, *out, *tracePath); err != nil {
+	if err := run(*scenario, *durationMs, *eventMs, *gran, *seed, *withCells, *render, *out, *tracePath, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "mhmsim:", err)
 		os.Exit(1)
 	}
@@ -57,7 +64,7 @@ func buildScenario(name string, eventMicros int64) (attack.Scenario, error) {
 	}
 }
 
-func run(scenario string, durationMs, eventMs int64, gran uint64, seed int64, withCells bool, render int, out, tracePath string) error {
+func run(scenario string, durationMs, eventMs int64, gran uint64, seed int64, withCells bool, render int, out, tracePath, metricsPath string) error {
 	img, err := kernelmap.NewImage(1)
 	if err != nil {
 		return err
@@ -72,6 +79,11 @@ func run(scenario string, durationMs, eventMs int64, gran uint64, seed int64, wi
 	})
 	if err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+		session.Monitor.SetMetrics(reg)
 	}
 	var traceWriter *trace.Writer
 	if tracePath != "" {
@@ -105,13 +117,25 @@ func run(scenario string, durationMs, eventMs int64, gran uint64, seed int64, wi
 	}
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
+	dumpMetrics := func() error {
+		if reg == nil {
+			return nil
+		}
+		bw.Flush() // metrics snapshot goes after the map output when both hit stdout
+		if err := reg.DumpFile(metricsPath); err != nil {
+			return fmt.Errorf("dump metrics: %w", err)
+		}
+		return nil
+	}
 
 	if render >= 0 {
 		if render >= len(maps) {
 			return fmt.Errorf("interval %d out of range (%d intervals)", render, len(maps))
 		}
-		_, err := fmt.Fprint(bw, maps[render].Render(92))
-		return err
+		if _, err := fmt.Fprint(bw, maps[render].Render(92)); err != nil {
+			return err
+		}
+		return dumpMetrics()
 	}
 
 	// CSV header.
@@ -135,5 +159,5 @@ func run(scenario string, durationMs, eventMs int64, gran uint64, seed int64, wi
 	}
 	fmt.Fprintf(os.Stderr, "mhmsim: %d intervals, scenario=%s, cells=%d\n",
 		len(maps), scenario, len(maps[0].Counts))
-	return nil
+	return dumpMetrics()
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/memheatmap/mhm/internal/obs"
 )
 
 func TestBuildScenario(t *testing.T) {
@@ -27,7 +29,7 @@ func TestBuildScenario(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := run("clean", 50, 25, 2048, 1, false, -1, out, ""); err != nil {
+	if err := run("clean", 50, 25, 2048, 1, false, -1, out, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -46,7 +48,7 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestRunWithCellsColumn(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "cells.csv")
-	if err := run("clean", 20, 10, 8192, 1, true, -1, out, ""); err != nil {
+	if err := run("clean", 20, 10, 8192, 1, true, -1, out, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -62,7 +64,7 @@ func TestRunWithCellsColumn(t *testing.T) {
 
 func TestRunRender(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "render.txt")
-	if err := run("clean", 30, 10, 2048, 1, false, 1, out, ""); err != nil {
+	if err := run("clean", 30, 10, 2048, 1, false, 1, out, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -73,14 +75,52 @@ func TestRunRender(t *testing.T) {
 		t.Errorf("render output missing header: %q", string(data)[:80])
 	}
 	// Out-of-range interval errors.
-	if err := run("clean", 30, 10, 2048, 1, false, 99, out, ""); err == nil {
+	if err := run("clean", 30, 10, 2048, 1, false, 99, out, "", ""); err == nil {
 		t.Error("out-of-range render accepted")
 	}
 }
 
 func TestRunRejectsBadScenario(t *testing.T) {
-	if err := run("bogus", 10, 5, 2048, 1, false, -1, "-", ""); err == nil {
+	if err := run("bogus", 10, 5, 2048, 1, false, -1, "-", "", ""); err == nil {
 		t.Error("bad scenario accepted")
+	}
+}
+
+func TestRunDumpsMetrics(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.csv")
+	mp := filepath.Join(dir, "metrics.json")
+	if err := run("clean", 50, 25, 2048, 1, false, -1, out, "", mp); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["memometer.swaps"]; got != 5 {
+		t.Errorf("memometer.swaps = %d, want 5 (50 ms / 10 ms)", got)
+	}
+	if snap.Counters["memometer.snooped"] == 0 || snap.Counters["memometer.accepted"] == 0 {
+		t.Errorf("filter counters empty: %+v", snap.Counters)
+	}
+	if got := snap.Counters["securecore.mhm_emitted"]; got != 5 {
+		t.Errorf("securecore.mhm_emitted = %d, want 5", got)
+	}
+
+	// Render mode must dump the snapshot too (it returns early from the
+	// CSV path).
+	mp2 := filepath.Join(dir, "render-metrics.json")
+	if err := run("clean", 50, 25, 2048, 1, false, 1, out, "", mp2); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(mp2); err != nil {
+		t.Fatalf("render mode skipped the metrics dump: %v", err)
+	} else if _, err := obs.ParseSnapshot(data); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -88,7 +128,7 @@ func TestRunCapturesTrace(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "out.csv")
 	tr := filepath.Join(dir, "bus.trace")
-	if err := run("clean", 30, 10, 2048, 1, false, -1, out, tr); err != nil {
+	if err := run("clean", 30, 10, 2048, 1, false, -1, out, tr, ""); err != nil {
 		t.Fatal(err)
 	}
 	fi, err := os.Stat(tr)

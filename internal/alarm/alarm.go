@@ -9,6 +9,8 @@ package alarm
 import (
 	"errors"
 	"fmt"
+
+	"github.com/memheatmap/mhm/internal/obs"
 )
 
 // ErrConfig wraps invalid runtime parameters.
@@ -56,6 +58,11 @@ type Runtime struct {
 	anomStreak, normStreak int
 	interval               int
 	events                 []Event
+
+	// Observability counters (nil unless Instrument was called).
+	raisedC     *obs.Counter
+	clearedC    *obs.Counter
+	suppressedC *obs.Counter
 }
 
 // NewRuntime builds a runtime.
@@ -64,6 +71,16 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	return &Runtime{cfg: cfg}, nil
+}
+
+// Instrument installs observability counters: alarm.raised and
+// alarm.cleared count transitions; alarm.suppressed counts anomalous
+// intervals the debouncer absorbed without a transition (below the
+// raise streak, or already raised).
+func (r *Runtime) Instrument(reg *obs.Registry) {
+	r.raisedC = reg.Counter("alarm.raised")
+	r.clearedC = reg.Counter("alarm.cleared")
+	r.suppressedC = reg.Counter("alarm.suppressed")
 }
 
 // Observe consumes one interval's verdict and returns a transition
@@ -88,6 +105,13 @@ func (r *Runtime) Observe(anomalous bool, endTime int64) *Event {
 	}
 	if ev != nil {
 		r.events = append(r.events, *ev)
+		if ev.Raised {
+			r.raisedC.Inc()
+		} else {
+			r.clearedC.Inc()
+		}
+	} else if anomalous {
+		r.suppressedC.Inc()
 	}
 	return ev
 }

@@ -14,6 +14,7 @@ import (
 
 	"github.com/memheatmap/mhm/internal/gmm"
 	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/obs"
 	"github.com/memheatmap/mhm/internal/pca"
 	"github.com/memheatmap/mhm/internal/stats"
 )
@@ -96,6 +97,21 @@ type Detector struct {
 	// Theta is anomalous at expected false-positive rate P. Empty when
 	// the extension is disabled.
 	ResidualThresholds []Threshold
+
+	// Per-stage latency histograms (nil unless Instrument was called);
+	// uninstrumented scoring pays one nil check per stage.
+	projHist  *obs.Histogram
+	scoreHist *obs.Histogram
+}
+
+// Instrument installs per-stage latency histograms on the detector:
+// core.project_micros times the eigenmemory projection (Eq. 1) and
+// core.score_micros the mixture density evaluation (Eq. 2). Passing a
+// nil registry uninstalls instrumentation. Not safe to call while
+// another goroutine is scoring.
+func (d *Detector) Instrument(r *obs.Registry) {
+	d.projHist = r.Histogram("core.project_micros", obs.LatencyBuckets)
+	d.scoreHist = r.Histogram("core.score_micros", obs.LatencyBuckets)
 }
 
 // Train learns a detector from a training set of normal MHMs and a
@@ -232,11 +248,15 @@ func (d *Detector) LogDensity(m *heatmap.HeatMap) (float64, error) {
 
 // LogDensityVector scores a raw MHM vector (length L).
 func (d *Detector) LogDensityVector(v []float64) (float64, error) {
+	sw := d.projHist.Start()
 	w, err := d.PCA.Project(v)
+	sw = sw.Handoff(d.scoreHist)
 	if err != nil {
 		return 0, err
 	}
-	return d.GMM.LogProb(w)
+	lp, err := d.GMM.LogProb(w)
+	sw.Stop()
+	return lp, err
 }
 
 // Threshold returns θ_p for a calibrated quantile.

@@ -40,6 +40,15 @@ func (d Def) Validate() error {
 	if d.AddrBase+d.Size < d.AddrBase {
 		return fmt.Errorf("heatmap: region wraps the address space: %w", ErrConfig)
 	}
+	// The ceil in Cells() computes Size+Gran-1; reject sizes where that
+	// sum wraps uint64 (or the result exceeds int) so Cells() is always
+	// exact for a validated definition.
+	if d.Size > math.MaxUint64-(d.Gran-1) {
+		return fmt.Errorf("heatmap: region size overflows the cell count: %w", ErrConfig)
+	}
+	if cells := (d.Size + d.Gran - 1) / d.Gran; cells > uint64(math.MaxInt) {
+		return fmt.Errorf("heatmap: %d cells overflow int: %w", cells, ErrConfig)
+	}
 	return nil
 }
 
@@ -77,7 +86,9 @@ func (d Def) CellRange(idx int) (lo, hi uint64, err error) {
 	}
 	lo = d.AddrBase + uint64(idx)*d.Gran
 	hi = lo + d.Gran
-	if end := d.AddrBase + d.Size; hi > end {
+	// hi < lo: the cell abuts the top of the address space and lo+Gran
+	// wrapped; Validate guarantees AddrBase+Size itself does not wrap.
+	if end := d.AddrBase + d.Size; hi > end || hi < lo {
 		hi = end
 	}
 	return lo, hi, nil

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/obs"
 )
 
 // Default hardware sizing from the paper's prototype: two 8 KB on-chip
@@ -78,10 +79,23 @@ type Stats struct {
 	Overruns uint64
 }
 
+// deviceMetrics mirrors Stats into live obs counters; all-nil (free)
+// until SetMetrics installs a registry.
+type deviceMetrics struct {
+	snooped          *obs.Counter
+	accepted         *obs.Counter
+	acceptedAccesses *obs.Counter
+	swaps            *obs.Counter
+	overruns         *obs.Counter
+	pending          *obs.Gauge
+}
+
 // Device is the Memometer. It is driven by two actors: the monitored
 // core's bus (Snoop/SnoopBurst, plus Tick for time) and the secure core
 // (Configure, Collect). The model is single-threaded by design — the
-// simulation delivers events in time order.
+// simulation delivers events in time order. Installed metrics counters
+// are atomic, so a metrics exporter may snapshot them from another
+// goroutine while the simulation runs.
 type Device struct {
 	cfg        Config
 	configured bool
@@ -93,6 +107,20 @@ type Device struct {
 	lastTime int64
 
 	stats Stats
+	met   deviceMetrics
+}
+
+// SetMetrics installs observability counters (catalogue: DESIGN.md §6).
+// A nil registry uninstalls instrumentation.
+func (d *Device) SetMetrics(r *obs.Registry) {
+	d.met = deviceMetrics{
+		snooped:          r.Counter("memometer.snooped"),
+		accepted:         r.Counter("memometer.accepted"),
+		acceptedAccesses: r.Counter("memometer.accepted_accesses"),
+		swaps:            r.Counter("memometer.swaps"),
+		overruns:         r.Counter("memometer.overruns"),
+		pending:          r.Gauge("memometer.pending"),
+	}
 }
 
 // New returns an unconfigured device.
@@ -149,6 +177,7 @@ func (d *Device) advanceTo(t int64) {
 		if d.pending != nil {
 			// Secure core never collected the previous MHM.
 			d.stats.Overruns++
+			d.met.overruns.Inc()
 			// Reclaim the stale buffer as the new shadow.
 			d.pending.Reset()
 			d.shadow = d.pending
@@ -159,6 +188,8 @@ func (d *Device) advanceTo(t int64) {
 		d.shadow = nil // exactly one of shadow/pending holds the spare
 		d.started = boundary
 		d.stats.Intervals++
+		d.met.swaps.Inc()
+		d.met.pending.Set(1)
 	}
 	d.lastTime = t
 }
@@ -193,12 +224,15 @@ func (d *Device) SnoopBurst(t int64, addr uint64, count uint32) error {
 	}
 	d.advanceTo(t)
 	d.stats.Snooped++
+	d.met.snooped.Inc()
 	if count == 0 {
 		return nil
 	}
 	if d.active.Record(addr, count) {
 		d.stats.Accepted++
 		d.stats.AcceptedAccesses += uint64(count)
+		d.met.accepted.Inc()
+		d.met.acceptedAccesses.Add(uint64(count))
 	}
 	return nil
 }
@@ -222,6 +256,7 @@ func (d *Device) Collect() (*heatmap.HeatMap, error) {
 	d.pending.Reset()
 	d.shadow = d.pending
 	d.pending = nil
+	d.met.pending.Set(0)
 	return out, nil
 }
 

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a deterministic registry covering every metric
+// kind and every histogram field (populated buckets, overflow, empty
+// histogram).
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("pipeline.intervals").Add(4)
+	r.Counter("pipeline.overruns").Add(1)
+	r.Counter("alarm.raised").Inc()
+	r.Gauge("memometer.pending").Set(1)
+	h := r.Histogram("pipeline.analysis_micros", []float64{10, 100, 1000})
+	for _, v := range []float64{3, 42, 42, 2500} {
+		h.Observe(v)
+	}
+	r.Histogram("core.project_micros", []float64{10, 100, 1000})
+	return r
+}
+
+// TestSnapshotGolden freezes the JSON export schema: cmd/mhmreport and
+// any external consumer parse this exact shape. Regenerate with
+// `go test ./internal/obs -run TestSnapshotGolden -update` only when a
+// schema change is intentional.
+func TestSnapshotGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "snapshot.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("snapshot schema drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The golden bytes must also parse back losslessly.
+	s, err := ParseSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["pipeline.intervals"] != 4 {
+		t.Errorf("parsed golden counters = %+v", s.Counters)
+	}
+	if hs := s.Histograms["pipeline.analysis_micros"]; hs.Count != 4 || hs.Overflow != 1 {
+		t.Errorf("parsed golden histogram = %+v", hs)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentObserveAndSnapshot hammers every metric kind from many
+// goroutines while other goroutines snapshot and export concurrently —
+// the race-detector guard for the lock-free hot path (run under
+// `go test -race`).
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers  = 8
+		readers  = 4
+		perIter  = 2000
+		perWrite = 3
+	)
+	var writerWG, readerWG sync.WaitGroup
+	done := make(chan struct{})
+
+	for g := 0; g < readers; g++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				// Internal consistency of whatever we saw: bucket sums
+				// never exceed the count read afterwards.
+				for name, hs := range s.Histograms {
+					var inBuckets uint64
+					for _, b := range hs.Buckets {
+						inBuckets += b.Count
+					}
+					inBuckets += hs.Overflow
+					if inBuckets > r.Histogram(name, nil).Count() {
+						t.Errorf("%s: buckets %d > later count", name, inBuckets)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			// Mix of cached and by-name lookups so registration races
+			// with concurrent reads.
+			c := r.Counter("shared.count")
+			h := r.Histogram("shared.lat", LatencyBuckets)
+			for i := 0; i < perIter; i++ {
+				c.Add(perWrite)
+				h.Observe(float64(i % 1000))
+				r.Gauge("shared.gauge").Set(float64(i))
+				r.Counter("own.count").Inc()
+				h.Start().Stop()
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(done)
+	readerWG.Wait()
+
+	want := uint64(writers * perIter * perWrite)
+	if got := r.Counter("shared.count").Value(); got != want {
+		t.Errorf("shared.count = %d, want %d", got, want)
+	}
+	if got := r.Counter("own.count").Value(); got != uint64(writers*perIter) {
+		t.Errorf("own.count = %d", got)
+	}
+	// Histogram totals: one Observe plus one Stopwatch per iteration.
+	if got := r.Histogram("shared.lat", nil).Count(); got != uint64(2*writers*perIter) {
+		t.Errorf("shared.lat count = %d, want %d", got, 2*writers*perIter)
+	}
+}

@@ -9,11 +9,13 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/memheatmap/mhm/internal/alarm"
 	"github.com/memheatmap/mhm/internal/core"
 	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/obs"
 )
 
 // ErrConfig wraps invalid pipeline configuration.
@@ -29,6 +31,12 @@ type Config struct {
 	// UseResidual additionally applies the residual test when the
 	// detector was calibrated with residual quantiles.
 	UseResidual bool
+	// Metrics, when non-nil, instruments the pipeline and its alarm
+	// runtime with live counters and a per-interval analysis-latency
+	// histogram (catalogue: DESIGN.md §6). The detector is NOT
+	// instrumented here — call Detector.Instrument separately, since
+	// detectors may be shared across pipelines.
+	Metrics *obs.Registry
 }
 
 // IntervalRecord is one analyzed interval.
@@ -45,14 +53,24 @@ type IntervalRecord struct {
 }
 
 // Pipeline is the online analyzer; plug Process into
-// securecore.SessionConfig.OnMHM.
+// securecore.SessionConfig.OnMHM. A mutex serializes Process against
+// the read-side accessors (Records, Budget, Alarms, Raised, Analyze),
+// so a metrics or status exporter may poll a running pipeline from
+// another goroutine.
 type Pipeline struct {
 	det *core.Detector
 	cfg Config
 	rt  *alarm.Runtime
 
+	mu      sync.Mutex
 	records []IntervalRecord
 	index   int
+
+	// Observability (nil without Config.Metrics).
+	intervals *obs.Counter
+	anomalous *obs.Counter
+	overruns  *obs.Counter
+	analysis  *obs.Histogram
 }
 
 // New builds a pipeline over a trained detector.
@@ -75,11 +93,22 @@ func New(det *core.Detector, cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{det: det, cfg: cfg, rt: rt}, nil
+	p := &Pipeline{det: det, cfg: cfg, rt: rt}
+	if cfg.Metrics != nil {
+		p.intervals = cfg.Metrics.Counter("pipeline.intervals")
+		p.anomalous = cfg.Metrics.Counter("pipeline.anomalous")
+		p.overruns = cfg.Metrics.Counter("pipeline.overruns")
+		p.analysis = cfg.Metrics.Histogram("pipeline.analysis_micros", obs.LatencyBuckets)
+		rt.Instrument(cfg.Metrics)
+	}
+	return p, nil
 }
 
 // Process analyzes one completed MHM; it is the securecore OnMHM hook.
+// Safe for concurrent use with the pipeline's read-side accessors.
 func (p *Pipeline) Process(m *heatmap.HeatMap) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	start := time.Now()
 	var (
 		anomalous bool
@@ -106,21 +135,43 @@ func (p *Pipeline) Process(m *heatmap.HeatMap) error {
 	rec.Event = p.rt.Observe(anomalous, m.End)
 	p.records = append(p.records, rec)
 	p.index++
+
+	p.intervals.Inc()
+	if anomalous {
+		p.anomalous.Inc()
+	}
+	p.analysis.Observe(rec.AnalysisMicros)
+	// Live deadline accounting against this interval's own length — the
+	// §5.4 feasibility condition, visible while the loop runs rather
+	// than only in the post-hoc Budget report.
+	if budget := m.End - m.Start; budget > 0 && int64(rec.AnalysisMicros) >= budget {
+		p.overruns.Inc()
+	}
 	return nil
 }
 
 // Records returns every analyzed interval so far.
 func (p *Pipeline) Records() []IntervalRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]IntervalRecord, len(p.records))
 	copy(out, p.records)
 	return out
 }
 
 // Alarms returns the alarm transitions so far.
-func (p *Pipeline) Alarms() []alarm.Event { return p.rt.Events() }
+func (p *Pipeline) Alarms() []alarm.Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rt.Events()
+}
 
 // Raised reports the current alarm state.
-func (p *Pipeline) Raised() bool { return p.rt.Raised() }
+func (p *Pipeline) Raised() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rt.Raised()
+}
 
 // BudgetReport summarizes whether the analysis fits the monitoring
 // interval — the paper's §5.4 feasibility argument.
@@ -137,6 +188,8 @@ type BudgetReport struct {
 
 // Budget computes the report against the MHM interval length.
 func (p *Pipeline) Budget() BudgetReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	rep := BudgetReport{Intervals: len(p.records)}
 	if len(p.records) == 0 {
 		return rep
@@ -159,5 +212,7 @@ func (p *Pipeline) Budget() BudgetReport {
 // Analyze summarizes detection against a ground-truth event interval
 // (negative for a clean run), delegating to the alarm runtime.
 func (p *Pipeline) Analyze(eventInterval int) alarm.Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.rt.Analyze(eventInterval)
 }

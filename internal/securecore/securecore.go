@@ -14,6 +14,7 @@ import (
 	"github.com/memheatmap/mhm/internal/heatmap"
 	"github.com/memheatmap/mhm/internal/kernelmap"
 	"github.com/memheatmap/mhm/internal/memometer"
+	"github.com/memheatmap/mhm/internal/obs"
 	"github.com/memheatmap/mhm/internal/rtos"
 	"github.com/memheatmap/mhm/internal/sim"
 	"github.com/memheatmap/mhm/internal/trace"
@@ -55,6 +56,12 @@ type Monitor struct {
 	idleSince int64
 
 	buf []trace.Access // reused emission buffer
+
+	// emitted/delivered are observability counters (nil until
+	// SetMetrics): completed MHMs handed to the sink and bursts pushed
+	// through the cache filter into the snoop point.
+	emitted   *obs.Counter
+	delivered *obs.Counter
 
 	err error // first pipeline error; checked via Err()
 }
@@ -109,10 +116,21 @@ func NewMonitor(img *kernelmap.Image, cfg memometer.Config, seed int64, sink fun
 			if err := m.sink(hm); err != nil {
 				return err
 			}
+			m.emitted.Inc()
 		}
 		return nil
 	}
 	return m, nil
+}
+
+// SetMetrics installs observability counters on the monitor and its
+// Memometer (catalogue: DESIGN.md §6). A nil registry uninstalls them.
+func (m *Monitor) SetMetrics(r *obs.Registry) {
+	m.emitted = r.Counter("securecore.mhm_emitted")
+	m.delivered = r.Counter("securecore.bursts_delivered")
+	if m.dev != nil {
+		m.dev.SetMetrics(r)
+	}
 }
 
 // NewPortMonitor builds a Monitor that emits into an arbitrary burst
@@ -178,6 +196,7 @@ func (m *Monitor) deliver() {
 			m.fail(err)
 			break
 		}
+		m.delivered.Inc()
 	}
 	m.buf = m.buf[:0]
 }
@@ -216,6 +235,7 @@ func (m *Monitor) AdvanceTo(t int64) error {
 			m.fail(err)
 			return m.err
 		}
+		m.emitted.Inc()
 	}
 	return m.err
 }

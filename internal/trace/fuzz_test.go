@@ -30,6 +30,9 @@ func FuzzReader(f *testing.F) {
 				break
 			}
 			if err != nil {
+				if !errors.Is(err, ErrBadTrace) {
+					t.Fatalf("reject without ErrBadTrace: %v", err)
+				}
 				return // malformed input rejected; fine
 			}
 			events = append(events, a)
@@ -59,6 +62,46 @@ func FuzzReader(f *testing.F) {
 			if got[i] != events[i] {
 				t.Fatalf("event %d changed", i)
 			}
+		}
+	})
+}
+
+// FuzzTraceReader pins the Reader's error contract: over an in-memory
+// stream (no transient I/O failures) every Read outcome is a valid
+// event, io.EOF at a clean record boundary, or an error wrapping
+// ErrBadTrace. Nothing else may escape and nothing may panic —
+// truncated headers (1–3 bytes) and torn records included.
+func FuzzTraceReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := int64(0); i < 3; i++ {
+		_ = w.Write(Access{Time: i * 10, Addr: 0xC0008000 + uint64(i)*4096, Count: uint32(i + 1)})
+	}
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Truncations at every prefix length through the header and the
+	// first record, plus a torn tail on the full stream.
+	for n := 0; n <= 24 && n < len(valid); n++ {
+		f.Add(valid[:n])
+	}
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("MHMT")) // wrong byte order for the magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; ; i++ {
+			_, err := r.Read()
+			if err == nil {
+				if i > len(data)/20+1 {
+					t.Fatalf("parsed more records than the input can hold")
+				}
+				continue
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, ErrBadTrace) {
+				return
+			}
+			t.Fatalf("Read returned error outside the contract: %v", err)
 		}
 	})
 }

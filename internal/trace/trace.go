@@ -148,6 +148,9 @@ func (tr *Reader) Read() (Access, error) {
 			if errors.Is(err, io.EOF) {
 				return Access{}, fmt.Errorf("trace: missing header: %w", ErrBadTrace)
 			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return Access{}, fmt.Errorf("trace: truncated header: %w", ErrBadTrace)
+			}
 			return Access{}, err
 		}
 		if magic != binaryMagic {
