@@ -121,7 +121,7 @@ func detectCmd(model, scenario string, durationMs, eventMs, seed int64, residual
 		return fmt.Errorf("open model (train one first with -train): %w", err)
 	}
 	det, err := core.Load(f)
-	f.Close()
+	_ = f.Close() // read-only handle; a close error cannot corrupt anything
 	if err != nil {
 		return err
 	}

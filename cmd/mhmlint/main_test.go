@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixture returns the path of a lint fixture package relative to this
+// package directory (tests run with cwd = cmd/mhmlint).
+func fixture(name string) string {
+	return "../../internal/lint/testdata/src/" + name
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestFixturesFail verifies that each violation fixture drives the exit
+// status to 1 and that the findings carry the right analyzer label.
+func TestFixturesFail(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		dir      string
+	}{
+		{"atomicfield", fixture("atomicfield/af")},
+		{"nilreceiver", fixture("nilreceiver/obs")},
+		{"hotpath", fixture("hotpath/hp")},
+		{"floateq", fixture("floateq/gmm")},
+		{"errdrop", fixture("errdrop/ed")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, tc.dir)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+			}
+			if !strings.Contains(stdout, ": "+tc.analyzer+": ") {
+				t.Errorf("stdout has no %s finding:\n%s", tc.analyzer, stdout)
+			}
+			if !strings.Contains(stderr, "finding(s)") {
+				t.Errorf("stderr summary missing:\n%s", stderr)
+			}
+		})
+	}
+}
+
+// TestCleanFixturePasses is the negative case, including the suppressed
+// violation inside it.
+func TestCleanFixturePasses(t *testing.T) {
+	code, stdout, stderr := runCLI(t, fixture("clean/clean"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no output, got:\n%s", stdout)
+	}
+}
+
+// TestWholeTreeClean asserts the repo itself satisfies its own suite —
+// the same invariant CI enforces with `go run ./cmd/mhmlint ./...`.
+func TestWholeTreeClean(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "github.com/memheatmap/mhm/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", fixture("errdrop/ed"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	if len(doc.Findings) != 4 {
+		t.Fatalf("findings = %d, want 4:\n%s", len(doc.Findings), stdout)
+	}
+	for _, f := range doc.Findings {
+		if f.Analyzer != "errdrop" || f.Line == 0 || f.Col == 0 ||
+			!strings.HasSuffix(f.File, "ed.go") || f.Message == "" {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+}
+
+func TestOnlySelectsAnalyzer(t *testing.T) {
+	// The errdrop fixture is clean under every other analyzer.
+	code, stdout, _ := runCLI(t, "-only", "floateq", fixture("errdrop/ed"))
+	if code != 0 || stdout != "" {
+		t.Errorf("exit = %d, stdout:\n%s", code, stdout)
+	}
+}
+
+func TestDisableSkipsAnalyzer(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-disable", "errdrop", fixture("errdrop/ed"))
+	if code != 0 || stdout != "" {
+		t.Errorf("exit = %d, stdout:\n%s", code, stdout)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"atomicfield", "nilreceiver", "hotpath", "floateq", "errdrop"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, stderr := runCLI(t, "-only", "nosuch", fixture("clean/clean"))
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("stderr:\n%s", stderr)
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	code, _, stderr := runCLI(t, "./no/such/dir")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+}

@@ -118,10 +118,15 @@ func run(scenario string, durationMs, eventMs int64, gran uint64, seed int64, wi
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
 	dumpMetrics := func() error {
+		// Flush before the snapshot so the metrics JSON lands after the map
+		// output when both hit stdout — and so CSV write errors surface
+		// here instead of dying in the deferred backstop flush.
+		if err := bw.Flush(); err != nil {
+			return err
+		}
 		if reg == nil {
 			return nil
 		}
-		bw.Flush() // metrics snapshot goes after the map output when both hit stdout
 		if err := reg.DumpFile(metricsPath); err != nil {
 			return fmt.Errorf("dump metrics: %w", err)
 		}

@@ -235,7 +235,7 @@ func Train(data [][]float64, opts Options) (*Model, error) {
 	}
 
 	reg := opts.Reg
-	if reg == 0 {
+	if mat.IsZero(reg) {
 		reg = 1e-6 * dataVariance(data)
 		if reg <= 0 {
 			reg = 1e-9
@@ -331,7 +331,7 @@ func kmeansSeed(data [][]float64, k int, rng *rand.Rand) [][]float64 {
 			dist[i] = dmin * dmin
 			total += dist[i]
 		}
-		if total == 0 {
+		if mat.IsZero(total) {
 			// All points coincide with chosen means; duplicate one.
 			means = append(means, append([]float64(nil), data[rng.Intn(n)]...))
 			continue
@@ -480,7 +480,7 @@ func emOnce(data [][]float64, k, maxIter int, tol, reg float64, rng *rand.Rand) 
 			diff := make([]float64, d)
 			for i, x := range data {
 				w := resp[i][j]
-				if w == 0 {
+				if mat.IsZero(w) {
 					continue
 				}
 				for cdim := range x {

@@ -54,6 +54,8 @@ func (d Def) Validate() error {
 
 // ShiftBits returns g = log2(Gran), the right-shift used by the target
 // cell calculation.
+//
+//mhm:hotpath
 func (d Def) ShiftBits() uint {
 	return uint(bits.TrailingZeros64(d.Gran))
 }
@@ -67,6 +69,8 @@ func (d Def) Cells() int {
 // calculation: offset = addr − AddrBase; reject unless 0 ≤ offset < Size;
 // idx = offset >> log2(δ). The boolean reports whether the address is in
 // the monitored region.
+//
+//mhm:hotpath
 func (d Def) CellIndex(addr uint64) (int, bool) {
 	offset := addr - d.AddrBase
 	// Unsigned arithmetic: addr < AddrBase wraps to a huge offset, which
@@ -117,6 +121,8 @@ func New(d Def) (*HeatMap, error) {
 // Record adds count accesses at addr, returning true when the address was
 // inside the monitored region. Counters saturate at 2³²−1 rather than
 // wrapping.
+//
+//mhm:hotpath
 func (h *HeatMap) Record(addr uint64, count uint32) bool {
 	idx, ok := h.Def.CellIndex(addr)
 	if !ok {
@@ -132,6 +138,8 @@ func (h *HeatMap) Record(addr uint64, count uint32) bool {
 }
 
 // Reset zeroes all counters.
+//
+//mhm:hotpath
 func (h *HeatMap) Reset() {
 	for i := range h.Counts {
 		h.Counts[i] = 0

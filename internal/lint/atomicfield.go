@@ -1,0 +1,224 @@
+// The atomicfield analyzer enforces the obs/pipeline concurrency
+// discipline: once a struct field is touched through sync/atomic
+// anywhere in the module, every other access to it must also be atomic.
+// Mixed atomic/plain access is exactly the data race the double-buffered
+// Memometer design exists to avoid.
+//
+// Two access styles are covered:
+//
+//   - legacy call style: atomic.AddUint64(&s.f, 1). The field's address
+//     escaping into sync/atomic marks it atomic; any plain read/write of
+//     the field elsewhere is reported.
+//   - typed style: fields declared as atomic.Uint64 and friends must only
+//     be used as method-call receivers (or have their address taken for a
+//     helper); a plain copy or assignment is reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// AtomicFieldAnalyzer returns the atomicfield analyzer.
+func AtomicFieldAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomicfield",
+		Doc:  "a field touched via sync/atomic must never be accessed non-atomically",
+		Run:  atomicfieldRun,
+	}
+}
+
+// atomicCallee resolves call to a sync/atomic function, or nil.
+func atomicCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	return fn
+}
+
+// fieldObject resolves a selector expression to the struct-field object
+// it selects, or nil if it is not a field selection.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// unwrapIndex peels index expressions: &s.f[i] pins field f just as
+// &s.f does.
+func unwrapIndex(e ast.Expr) ast.Expr {
+	for {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			return e
+		}
+		e = ix.X
+	}
+}
+
+// isAtomicNamedType reports whether t (after pointers) is one of the
+// sync/atomic value types (atomic.Uint64, atomic.Value, ...).
+func isAtomicNamedType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// atomicfieldRun gathers module-wide facts, then reports plain accesses
+// in the requested packages.
+func atomicfieldRun(prog *Program) []Diagnostic {
+	// Phase 1: every field whose address reaches sync/atomic, with the
+	// first such position for the report message.
+	atomicUsed := map[*types.Var]token.Position{}
+	for _, pkg := range prog.allSorted() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || atomicCallee(pkg.Info, call) == nil {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := unwrapIndex(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if v := fieldObject(pkg.Info, sel); v != nil {
+						pos := prog.Fset.Position(un.Pos())
+						if old, ok := atomicUsed[v]; !ok || less(pos, old) {
+							atomicUsed[v] = pos
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: report plain accesses in the requested packages.
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v := fieldObject(pkg.Info, sel)
+				if v == nil {
+					return true
+				}
+				if first, ok := atomicUsed[v]; ok && !insideAtomicArg(pkg.Info, stack) {
+					out = append(out, Diagnostic{
+						Analyzer: "atomicfield",
+						Pos:      prog.Fset.Position(sel.Sel.Pos()),
+						Message: fmt.Sprintf("non-atomic access to field %s.%s, which is accessed atomically at %s:%d",
+							fieldOwner(v), v.Name(), relFile(prog, first), first.Line),
+					})
+					return true
+				}
+				if isAtomicNamedType(v.Type()) && !atomicMethodContext(pkg.Info, stack) {
+					out = append(out, Diagnostic{
+						Analyzer: "atomicfield",
+						Pos:      prog.Fset.Position(sel.Sel.Pos()),
+						Message: fmt.Sprintf("field %s.%s has an atomic type and must only be used via its methods or by address",
+							fieldOwner(v), v.Name()),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// insideAtomicArg reports whether the innermost relevant ancestors are
+// &expr as a direct argument of a sync/atomic call.
+func insideAtomicArg(info *types.Info, stack []ast.Node) bool {
+	// Walking outward: optional index expressions, then &, then the call.
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.IndexExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 1 {
+		return false
+	}
+	un, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	call, ok := stack[i-1].(*ast.CallExpr)
+	return ok && atomicCallee(info, call) != nil
+}
+
+// atomicMethodContext reports whether a selector of an atomic-typed
+// field is used legitimately: as the receiver of a method selection, or
+// with its address taken (to hand to a helper that uses it atomically).
+func atomicMethodContext(info *types.Info, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		// h.count.Load(): the parent selection must be a method.
+		if s := info.Selections[parent]; s != nil && s.Kind() == types.MethodVal {
+			return true
+		}
+	case *ast.UnaryExpr:
+		return parent.Op == token.AND
+	}
+	return false
+}
+
+// fieldOwner names the struct type a field belongs to, best effort.
+func fieldOwner(v *types.Var) string {
+	if v.Pkg() != nil {
+		return v.Pkg().Name()
+	}
+	return "?"
+}
+
+// less orders positions by file, then offset.
+func less(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	return a.Offset < b.Offset
+}
+
+// relFile renders a diagnostic-friendly path relative to the module root.
+func relFile(prog *Program, pos token.Position) string {
+	rel, err := filepath.Rel(prog.Root, pos.Filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return pos.Filename
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,166 @@
+// The errdrop analyzer forbids silently discarded error returns: a call
+// whose result set includes an error may not stand alone as an
+// expression statement. Assigning the error away explicitly (`_ = ...`)
+// is visible in review and therefore allowed, as are a small set of
+// writers that are documented never to fail or to latch their error
+// until Flush:
+//
+//   - fmt.Print/Printf/Println, and fmt.Fprint* to os.Stdout/os.Stderr
+//     (the CLI convention for best-effort console output);
+//   - methods on strings.Builder and bytes.Buffer;
+//   - fmt.Fprint* to a strings.Builder, bytes.Buffer or bufio.Writer
+//     (bufio latches the first error; its Flush IS checked).
+//
+// Deferred calls are not examined (a syntactic approximation — wrapping
+// every `defer f.Close()` adds noise without catching the hot bugs);
+// test files are never loaded by the driver.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropAnalyzer returns the errdrop analyzer.
+func ErrDropAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "no silently discarded error returns outside tests",
+		Run:  errdropRun,
+	}
+}
+
+func errdropRun(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(pkg.Info, call) || allowedDrop(pkg.Info, call) {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Analyzer: "errdrop",
+					Pos:      prog.Fset.Position(call.Pos()),
+					Message:  fmt.Sprintf("error return of %s is silently discarded; handle it or assign to _", calleeName(call)),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// returnsError reports whether any result of the call is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// allowedDrop applies the documented writer allowlist.
+func allowedDrop(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && safeWriterArg(info, call.Args[0])
+		}
+		return false
+	case "strings", "bytes":
+		// Methods on strings.Builder / bytes.Buffer never return a
+		// non-nil error.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return isNamedIn(sig.Recv().Type(), "strings", "Builder") ||
+				isNamedIn(sig.Recv().Type(), "bytes", "Buffer")
+		}
+	}
+	return false
+}
+
+// safeWriterArg reports whether the writer argument is os.Stdout,
+// os.Stderr, or a latching/infallible writer type.
+func safeWriterArg(info *types.Info, arg ast.Expr) bool {
+	if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == "os" {
+			if v.Name() == "Stdout" || v.Name() == "Stderr" {
+				return true
+			}
+		}
+	}
+	tv, ok := info.Types[ast.Unparen(arg)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	return isNamedIn(t, "strings", "Builder") ||
+		isNamedIn(t, "bytes", "Buffer") ||
+		isNamedIn(t, "bufio", "Writer")
+}
+
+// isNamedIn reports whether t (after pointers) is the named type
+// pkgpath.name.
+func isNamedIn(t types.Type, pkgpath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgpath && obj.Name() == name
+}
+
+// calleeName renders a short name for the called function.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,87 @@
+// The floateq analyzer bans exact ==/!= comparison of floating-point
+// operands in the numeric packages (gmm, pca, stats): EM convergence,
+// eigenvalue selection and quantile math must compare through the
+// tolerance helpers in internal/mat (mat.IsZero, mat.Eq, mat.EqTol),
+// which spell out the intended precision instead of relying on exact
+// bit equality.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqScope lists the import-path suffixes (whole trailing segments)
+// the floateq analyzer applies to.
+var FloatEqScope = []string{"gmm", "pca", "stats"}
+
+// FloatEqAnalyzer returns the floateq analyzer.
+func FloatEqAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "no ==/!= between floating-point operands in gmm/pca/stats; use mat epsilon helpers",
+		Run:  floateqRun,
+	}
+}
+
+func floateqRun(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		inScope := false
+		for _, seg := range FloatEqScope {
+			if pathEndsWith(pkg.Path, seg) {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := pkg.Info.Types[be.X], pkg.Info.Types[be.Y]
+				if !isFloat(xt.Type) && !isFloat(yt.Type) {
+					return true
+				}
+				// Comparing two compile-time constants is exact by
+				// construction and not a runtime hazard.
+				if xt.Value != nil && yt.Value != nil {
+					return true
+				}
+				helper := "mat.EqTol"
+				if isZeroConst(xt) || isZeroConst(yt) {
+					helper = "mat.IsZero"
+				}
+				out = append(out, Diagnostic{
+					Analyzer: "floateq",
+					Pos:      prog.Fset.Position(be.OpPos),
+					Message: fmt.Sprintf("floating-point %s comparison; use %s (or an explicit tolerance)",
+						be.Op, helper),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type (float32, float64, or an untyped float constant).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether the operand is the constant 0.
+func isZeroConst(tv types.TypeAndValue) bool {
+	return tv.Value != nil && tv.Value.String() == "0"
+}

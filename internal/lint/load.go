@@ -1,0 +1,287 @@
+// Module-aware package loading built on go/parser and go/types only: the
+// module's own import paths resolve to local directories and everything
+// else goes through go/importer (export data when available, source
+// otherwise). This keeps the driver free of external dependencies while
+// still type-checking the full tree.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// skipDir reports whether a directory is never a lintable package dir
+// (mirrors the go tool's pattern-walking rules).
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// goSources lists the non-test .go files of dir, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// ExpandPatterns resolves package patterns relative to cwd into package
+// directories. Supported forms: a directory ("./cmd/mhmlint"), a
+// recursive pattern ("./...", "./internal/..."), and the module-path
+// equivalents ("github.com/memheatmap/mhm/internal/gmm", ".../...").
+func ExpandPatterns(cwd, root, modpath string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		// Module-path patterns map onto the tree under root.
+		if pat == modpath {
+			pat = root
+		} else if rest, ok := strings.CutPrefix(pat, modpath+"/"); ok {
+			pat = filepath.Join(root, filepath.FromSlash(rest))
+		}
+		recursive := false
+		if pat == "..." {
+			pat, recursive = root, true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, base)
+		}
+		base = filepath.Clean(base)
+		if !recursive {
+			files, err := goSources(base)
+			if err != nil {
+				return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+			}
+			if len(files) == 0 {
+				return nil, fmt.Errorf("lint: no Go files in %s", base)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != base && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			files, err := goSources(path)
+			if err != nil {
+				return err
+			}
+			if len(files) > 0 {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loader resolves and type-checks packages with a shared cache.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modpath string
+	pkgs    map[string]*Package // by import path, module-local only
+	loading map[string]bool     // cycle detection
+	std     types.Importer      // export-data importer for non-module paths
+	source  types.Importer      // source fallback when export data is absent
+}
+
+// Import implements types.Importer: module-local paths load from source,
+// everything else defers to the toolchain importers.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modpath || strings.HasPrefix(path, l.modpath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modpath), "/")
+		pkg, err := l.loadDir(filepath.Join(l.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if l.source == nil {
+		l.source = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l.source.Import(path)
+}
+
+// importPathFor maps an absolute directory to its import path. Dirs
+// outside the module root (never expected) fall back to the directory
+// path itself so error messages stay meaningful.
+func (l *loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(dir)
+	}
+	if rel == "." {
+		return l.modpath
+	}
+	return l.modpath + "/" + filepath.ToSlash(rel)
+}
+
+// loadDir parses and type-checks the package in dir (cached).
+func (l *loader) loadDir(dir string) (*Package, error) {
+	path := l.importPathFor(dir)
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var asts []*ast.File
+	for _, f := range files {
+		parsed, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, parsed)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: asts, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Load type-checks the packages matched by patterns (resolved relative
+// to cwd) and returns a Program ready for analysis.
+func Load(cwd string, patterns []string) (*Program, error) {
+	// Absolute from the start: relative dirs would defeat the
+	// root-relative import-path mapping in importPathFor.
+	cwd, err := filepath.Abs(cwd)
+	if err != nil {
+		return nil, err
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := ExpandPatterns(cwd, root, modpath, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("lint: no packages matched %v", patterns)
+	}
+	l := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modpath: modpath,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.Default(),
+	}
+	prog := &Program{Fset: l.fset, ModPath: modpath, Root: root, All: map[string]*Package{}}
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	prog.All = l.pkgs
+	prog.scanFacts()
+	return prog, nil
+}

@@ -1,0 +1,203 @@
+// The nilreceiver analyzer guards the obs contract that a nil metric
+// handle is a no-op: every exported pointer-receiver method on a type
+// annotated //mhm:nilsafe must either begin life with an explicit
+// receiver nil-check or touch the receiver only by calling (nil-safe)
+// methods on it. Additionally, in any package whose import path ends in
+// "obs", every exported type that has exported pointer-receiver methods
+// must carry the //mhm:nilsafe annotation, so the invariant cannot be
+// silently un-enforced by deleting a comment.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilReceiverAnalyzer returns the nilreceiver analyzer.
+func NilReceiverAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "nilreceiver",
+		Doc:  "exported methods on //mhm:nilsafe handle types must keep their nil-receiver guards",
+		Run:  nilreceiverRun,
+	}
+}
+
+func nilreceiverRun(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		enforceAnnotated := pathEndsWith(pkg.Path, "obs") || pathEndsWith(pkg.Path, "internal/obs")
+		// Types in this package that have exported pointer-receiver methods,
+		// for the obs annotation-presence rule.
+		withPtrMethods := map[types.Object]token.Pos{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+					continue
+				}
+				recvType, recvName := receiverInfo(fd)
+				if recvType == nil {
+					continue // value receiver: cannot be nil
+				}
+				tobj := pkg.Info.Uses[recvType]
+				if tobj == nil {
+					continue
+				}
+				if fd.Name.IsExported() {
+					if _, seen := withPtrMethods[tobj]; !seen {
+						withPtrMethods[tobj] = tobj.Pos()
+					}
+				}
+				if !prog.IsNilsafe(tobj) || !fd.Name.IsExported() || fd.Body == nil {
+					continue
+				}
+				recvObj := recvVarObject(pkg.Info, fd)
+				if recvObj == nil {
+					continue // unnamed receiver: body cannot dereference it
+				}
+				if hasNilGuard(pkg.Info, fd.Body, recvObj) {
+					continue
+				}
+				if receiverMethodOnly(pkg.Info, fd.Body, recvObj) {
+					continue // pure delegation to (nil-safe) methods
+				}
+				out = append(out, Diagnostic{
+					Analyzer: "nilreceiver",
+					Pos:      prog.Fset.Position(fd.Name.Pos()),
+					Message: fmt.Sprintf("exported method (%s).%s on //mhm:nilsafe type dereferences receiver %q without a nil-receiver guard",
+						"*"+tobj.Name(), fd.Name.Name, recvName),
+				})
+			}
+		}
+		if enforceAnnotated {
+			for tobj, pos := range withPtrMethods {
+				if !prog.IsNilsafe(tobj) && tobj.Exported() {
+					out = append(out, Diagnostic{
+						Analyzer: "nilreceiver",
+						Pos:      prog.Fset.Position(pos),
+						Message: fmt.Sprintf("exported handle type %s has exported pointer-receiver methods and must be annotated %s",
+							tobj.Name(), NilsafeDirective),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverInfo returns the receiver's named-type identifier (nil for a
+// value receiver) and the receiver variable name ("" when unnamed).
+func receiverInfo(fd *ast.FuncDecl) (*ast.Ident, string) {
+	field := fd.Recv.List[0]
+	name := ""
+	if len(field.Names) > 0 {
+		name = field.Names[0].Name
+	}
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return nil, name
+	}
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		return t, name
+	case *ast.IndexExpr: // generic receiver *T[P]
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id, name
+		}
+	}
+	return nil, name
+}
+
+// recvVarObject resolves the receiver variable's object.
+func recvVarObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	field := fd.Recv.List[0]
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		return nil
+	}
+	return info.Defs[field.Names[0]]
+}
+
+// hasNilGuard reports whether the body contains an if-condition comparing
+// the receiver against nil (either polarity, possibly combined with other
+// conditions).
+func hasNilGuard(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ifstmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ifstmt.Cond, func(c ast.Node) bool {
+			be, ok := c.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if (isRecvIdent(info, be.X, recv) && isNilIdent(info, be.Y)) ||
+				(isRecvIdent(info, be.Y, recv) && isNilIdent(info, be.X)) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}
+
+func isRecvIdent(info *types.Info, e ast.Expr, recv types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && info.Uses[id] == recv
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// receiverMethodOnly reports whether every use of the receiver in body is
+// as the receiver of an invoked method call — i.e. the method merely
+// delegates, and nil-safety is the callees' responsibility.
+func receiverMethodOnly(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	ok := true
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if !ok {
+			return false
+		}
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || info.Uses[id] != recv {
+			return true
+		}
+		// The identifier must be the X of a method-value selector whose
+		// parent is a call using it as the function.
+		if len(stack) < 2 {
+			ok = false
+			return false
+		}
+		sel, isSel := stack[len(stack)-1].(*ast.SelectorExpr)
+		if !isSel || sel.X != id {
+			ok = false
+			return false
+		}
+		s := info.Selections[sel]
+		if s == nil || s.Kind() != types.MethodVal {
+			ok = false
+			return false
+		}
+		call, isCall := stack[len(stack)-2].(*ast.CallExpr)
+		if !isCall || call.Fun != sel {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

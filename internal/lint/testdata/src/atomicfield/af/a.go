@@ -1,0 +1,40 @@
+// Package af exercises the atomicfield analyzer: mixed atomic/plain
+// access to the same field, across files, in both the legacy-call and
+// typed styles.
+package af
+
+import "sync/atomic"
+
+// S mixes a legacy-atomic counter with a plain one.
+type S struct {
+	hits  uint64
+	plain uint64
+	gen   atomic.Uint64
+}
+
+// IncHits is the atomic writer that pins S.hits as an atomic field.
+func (s *S) IncHits() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// ReadHitsRacy reads the pinned field without sync/atomic.
+func (s *S) ReadHitsRacy() uint64 {
+	return s.hits // want "non-atomic access to field af.hits"
+}
+
+// Plain never touches atomics and stays unflagged.
+func (s *S) Plain() uint64 {
+	s.plain++
+	return s.plain
+}
+
+// Gen uses the typed style correctly: method calls only.
+func (s *S) Gen() uint64 {
+	return s.gen.Load()
+}
+
+// GenRacy copies the atomic value instead of loading it.
+func (s *S) GenRacy() uint64 {
+	g := s.gen // want "field af.gen has an atomic type"
+	return g.Load()
+}

@@ -1,0 +1,20 @@
+package af
+
+import "sync/atomic"
+
+// LoadHits is the compliant cross-file reader.
+func LoadHits(s *S) uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// StoreHitsRacy writes the atomic field plainly from another file — the
+// multi-file case the analyzer must catch.
+func StoreHitsRacy(s *S) {
+	s.hits = 0 // want "non-atomic access to field af.hits"
+}
+
+// Helper takes the address of a typed atomic field for a callee, which
+// is allowed (the callee can only use methods).
+func Helper(s *S) *atomic.Uint64 {
+	return &s.gen
+}

@@ -1,0 +1,38 @@
+// Package clean is the negative fixture: it uses atomics, floats,
+// errors and hot-path annotations correctly, plus one deliberate
+// violation suppressed by an //mhmlint:ignore directive, and must
+// produce zero findings.
+package clean
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Counter is a correctly handled atomic field.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc is a compliant hot-path increment.
+//
+//mhm:hotpath
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value loads through the atomic API.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Cleanup drops an error on purpose, visibly, with a reason.
+func Cleanup(path string) {
+	//mhmlint:ignore errdrop best-effort cleanup of a scratch file
+	os.Remove(path)
+}
+
+// NearlyEqual is tolerance-based float comparison.
+func NearlyEqual(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,38 @@
+// Package ed exercises the errdrop analyzer: error returns may not be
+// silently discarded by expression statements.
+package ed
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// fallible returns an error that must not be dropped.
+func fallible() error { return nil }
+
+// pair returns a value and an error.
+func pair() (int, error) { return 0, nil }
+
+// Drops collects the violations.
+func Drops(w *bufio.Writer) {
+	fallible()          // want "error return of fallible is silently discarded"
+	pair()              // want "error return of pair is silently discarded"
+	os.Remove("gone")   // want "error return of os.Remove is silently discarded"
+	w.Flush()           // want "error return of w.Flush is silently discarded"
+	fmt.Fprintf(w, "x") // fine: bufio latches its error until Flush
+}
+
+// Allowed collects the sanctioned forms.
+func Allowed(w *bufio.Writer) string {
+	_ = fallible()
+	if err := fallible(); err != nil {
+		fmt.Fprintln(os.Stderr, "ed:", err)
+	}
+	fmt.Println("console output is best-effort")
+	var b strings.Builder
+	b.WriteString("builders never fail")
+	fmt.Fprintf(&b, " (%d)", 1)
+	return b.String()
+}

@@ -1,0 +1,42 @@
+// Package gmm exercises the floateq analyzer: its import path ends in
+// "gmm", one of the numeric packages where raw float equality is
+// banned.
+package gmm
+
+// epsilon stands in for the mat helpers in this self-contained fixture.
+const epsilon = 1e-9
+
+// Converged compares log-likelihoods the wrong way.
+func Converged(ll, prev float64) bool {
+	return ll == prev // want "floating-point == comparison"
+}
+
+// Changed compares floats for inequality.
+func Changed(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// IsUnset tests a sentinel against the zero constant.
+func IsUnset(tol float64) bool {
+	return tol == 0 // want "use mat.IsZero"
+}
+
+// Near is the sanctioned tolerance form and is not flagged.
+func Near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= epsilon
+}
+
+// SameCount compares integers; only floats are the analyzer's business.
+func SameCount(n, m int) bool {
+	return n == m
+}
+
+// mixed compares an int-typed expression against a float constant
+// context... it does not: untyped consts on both sides are exact.
+func mixed() bool {
+	return 1.5 == 3.0/2.0
+}

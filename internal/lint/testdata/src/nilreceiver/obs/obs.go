@@ -1,0 +1,48 @@
+// Package obs exercises the nilreceiver analyzer. Its import path ends
+// in "obs", so exported handle types with exported pointer-receiver
+// methods must be annotated //mhm:nilsafe, and annotated types must keep
+// their guards.
+package obs
+
+// Counter is a guarded handle type.
+//
+//mhm:nilsafe
+type Counter struct {
+	n uint64
+}
+
+// Add is compliant: the guard comes first.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.n += n
+}
+
+// Inc is compliant by delegation: the receiver is only used to call
+// (nil-safe) methods.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value dereferences the receiver with no guard in sight.
+func (c *Counter) Value() uint64 { // want `dereferences receiver "c" without a nil-receiver guard`
+	return c.n
+}
+
+// reset is unexported and exempt.
+func (c *Counter) reset() { c.n = 0 }
+
+// Gauge has pointer-receiver methods but no annotation.
+type Gauge struct { // want "must be annotated //mhm:nilsafe"
+	v float64
+}
+
+// Set would need a guard once Gauge is annotated.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Reading is a value-receiver type and never needs annotation.
+type Reading struct {
+	v float64
+}
+
+// Value cannot observe a nil receiver.
+func (r Reading) Value() float64 { return r.v }

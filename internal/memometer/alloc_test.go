@@ -1,0 +1,62 @@
+package memometer
+
+import (
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/obs"
+)
+
+// The record path is annotated //mhm:hotpath (enforced by mhmlint); this
+// test pins the runtime side of the same contract: steady-state snooping
+// must not allocate, with or without metrics attached.
+func TestRecordPathDoesNotAllocate(t *testing.T) {
+	run := func(name string, d *Device) {
+		var now int64
+		if n := testing.AllocsPerRun(1000, func() {
+			now++
+			if err := d.Snoop(now, 0x1000+uint64(now)%0x1000); err != nil {
+				t.Fatalf("Snoop: %v", err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: Snoop allocates %v per op", name, n)
+		}
+		if n := testing.AllocsPerRun(1000, func() {
+			now++
+			if err := d.SnoopBurst(now, 0x1000, 4); err != nil {
+				t.Fatalf("SnoopBurst: %v", err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: SnoopBurst allocates %v per op", name, n)
+		}
+		if n := testing.AllocsPerRun(1000, func() {
+			now++
+			if err := d.Tick(now); err != nil {
+				t.Fatalf("Tick: %v", err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: Tick allocates %v per op", name, n)
+		}
+	}
+
+	d := mustDevice(t)
+	run("bare", d)
+
+	dm := mustDevice(t)
+	dm.SetMetrics(obs.NewRegistry())
+	run("with metrics", dm)
+
+	// Interval boundaries swap the double buffer in place; crossing one
+	// per call must stay allocation-free too (overruns included, since
+	// nothing collects the pending MHM).
+	db := mustDevice(t)
+	step := testCfg().IntervalMicros
+	var now int64
+	if n := testing.AllocsPerRun(1000, func() {
+		now += step
+		if err := db.Snoop(now, 0x1234); err != nil {
+			t.Fatalf("Snoop: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("boundary crossing allocates %v per op", n)
+	}
+}

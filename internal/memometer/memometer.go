@@ -168,6 +168,8 @@ func (d *Device) Stats() Stats { return d.stats }
 // other memory starts recording. If the pending slot is still occupied
 // (analysis overran the interval), the older MHM is dropped and counted
 // as an overrun, as real fixed-size hardware would.
+//
+//mhm:hotpath
 func (d *Device) advanceTo(t int64) {
 	for t-d.started >= d.cfg.IntervalMicros {
 		boundary := d.started + d.cfg.IntervalMicros
@@ -196,11 +198,14 @@ func (d *Device) advanceTo(t int64) {
 
 // Tick informs the device of the current simulation time without a bus
 // event, so interval boundaries fire during quiet periods.
+//
+//mhm:hotpath
 func (d *Device) Tick(t int64) error {
 	if !d.configured {
 		return ErrNotConfigured
 	}
 	if t < d.lastTime {
+		//mhmlint:ignore hotpath cold error path; a malformed stream already aborts the run
 		return fmt.Errorf("memometer: time went backwards (%d < %d): %w", t, d.lastTime, ErrConfig)
 	}
 	d.advanceTo(t)
@@ -208,6 +213,8 @@ func (d *Device) Tick(t int64) error {
 }
 
 // Snoop observes a single fetch at addr at time t.
+//
+//mhm:hotpath
 func (d *Device) Snoop(t int64, addr uint64) error {
 	return d.SnoopBurst(t, addr, 1)
 }
@@ -215,11 +222,14 @@ func (d *Device) Snoop(t int64, addr uint64) error {
 // SnoopBurst observes a burst of count fetches starting at addr. The
 // synthetic kernel emits function-level bursts; recording them is
 // equivalent to count unit snoops for counter histograms.
+//
+//mhm:hotpath
 func (d *Device) SnoopBurst(t int64, addr uint64, count uint32) error {
 	if !d.configured {
 		return ErrNotConfigured
 	}
 	if t < d.lastTime {
+		//mhmlint:ignore hotpath cold error path; a malformed stream already aborts the run
 		return fmt.Errorf("memometer: time went backwards (%d < %d): %w", t, d.lastTime, ErrConfig)
 	}
 	d.advanceTo(t)

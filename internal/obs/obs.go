@@ -38,11 +38,15 @@ var LatencyBuckets = []float64{
 }
 
 // Counter is a monotonically increasing event count.
+//
+//mhm:nilsafe
 type Counter struct {
 	v atomic.Uint64
 }
 
 // Add increments the counter by n. No-op on a nil counter.
+//
+//mhm:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -51,6 +55,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one. No-op on a nil counter.
+//
+//mhm:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 for a nil counter).
@@ -62,11 +68,15 @@ func (c *Counter) Value() uint64 {
 }
 
 // Gauge is a last-value metric (e.g. a current depth or level).
+//
+//mhm:nilsafe
 type Gauge struct {
 	bits atomic.Uint64
 }
 
 // Set stores v. No-op on a nil gauge.
+//
+//mhm:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -75,6 +85,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add atomically adds d to the gauge. No-op on a nil gauge.
+//
+//mhm:hotpath
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
@@ -99,6 +111,8 @@ func (g *Gauge) Value() float64 {
 // Histogram accumulates observations into fixed buckets defined by a
 // sorted slice of upper bounds (an implicit +Inf overflow bucket
 // catches the rest). Count, sum, min and max are tracked alongside.
+//
+//mhm:nilsafe
 type Histogram struct {
 	bounds  []float64 // immutable after construction
 	buckets []atomic.Uint64
@@ -123,6 +137,8 @@ func newHistogram(bounds []float64) *Histogram {
 
 // atomicFoldFloat folds v into the float64 stored in bits using keep to
 // decide whether the incumbent survives.
+//
+//mhm:hotpath
 func atomicFoldFloat(bits *atomic.Uint64, v float64, keep func(cur, v float64) bool) {
 	for {
 		old := bits.Load()
@@ -138,6 +154,8 @@ func atomicFoldFloat(bits *atomic.Uint64, v float64, keep func(cur, v float64) b
 
 // Observe records one value. Lock-free and allocation-free; no-op on a
 // nil histogram.
+//
+//mhm:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -228,6 +246,8 @@ func (s Stopwatch) Handoff(next *Histogram) Stopwatch {
 // Registry is a named collection of metrics. The zero value is not
 // usable; call NewRegistry. A nil *Registry is valid and hands out nil
 // metrics, making instrumentation free when disabled.
+//
+//mhm:nilsafe
 type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter

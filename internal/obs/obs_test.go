@@ -166,6 +166,9 @@ func TestHotPathDoesNotAllocate(t *testing.T) {
 	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
 		t.Errorf("Counter.Add allocates %v per op", n)
 	}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v per op", n)
+	}
 	if n := testing.AllocsPerRun(1000, func() { g.Set(3.14) }); n != 0 {
 		t.Errorf("Gauge.Set allocates %v per op", n)
 	}

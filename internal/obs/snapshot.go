@@ -190,7 +190,7 @@ func (r *Registry) DumpFile(path string) error {
 		return err
 	}
 	if err := r.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

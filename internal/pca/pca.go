@@ -43,7 +43,7 @@ func (o *Options) fill() error {
 		return fmt.Errorf("pca: negative component count %d: %w", o.Components, ErrTraining)
 	}
 	if o.Components == 0 {
-		if o.VarianceFraction == 0 {
+		if mat.IsZero(o.VarianceFraction) {
 			o.VarianceFraction = 0.9999
 		}
 		if o.VarianceFraction < 0 || o.VarianceFraction > 1 {
@@ -243,7 +243,7 @@ func (m *Model) Reconstruct(w []float64) ([]float64, error) {
 	out := make([]float64, l)
 	copy(out, m.Mean)
 	for j, wj := range w {
-		if wj == 0 {
+		if mat.IsZero(wj) {
 			continue
 		}
 		for i := 0; i < l; i++ {
