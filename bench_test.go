@@ -18,6 +18,7 @@ import (
 	"github.com/memheatmap/mhm/internal/memometer"
 	"github.com/memheatmap/mhm/internal/obs"
 	"github.com/memheatmap/mhm/internal/pca"
+	"github.com/memheatmap/mhm/internal/pipeline"
 	"github.com/memheatmap/mhm/internal/workload"
 )
 
@@ -48,7 +49,7 @@ func fixtures(b *testing.B) {
 		mk := func(gran uint64, lprime int, seedBase int64) (*core.Detector, error) {
 			lab := &experiments.Lab{Img: fixLab.Img, Scale: fixLab.Scale}
 			lab.Scale.Gran = gran
-			lab.Scale.PCAOptions = pca.Options{Components: lprime}
+			lab.Scale.PCAOptions = pca.Options{Components: lprime, Parallel: true}
 			d, _, err := lab.TrainDetector(seedBase)
 			return d, err
 		}
@@ -195,6 +196,52 @@ func BenchmarkAnalysisTime_L368_Lp9_J5(b *testing.B) {
 func BenchmarkAnalysisTime_L1472_Lp5_J5(b *testing.B) {
 	fixtures(b)
 	benchClassify(b, fixDet5, fixVecs)
+}
+
+// BenchmarkScoreBatch times the blocked B=64 batch kernel on the §5.4
+// base configuration; ns/op is per MHM, directly comparable to
+// BenchmarkAnalysisTime_L1472_Lp9_J5 (the single-vector loop).
+func BenchmarkScoreBatch(b *testing.B) {
+	fixtures(b)
+	eng, err := fixDet9.ScoreEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := eng.NewScorer()
+	const batch = 64
+	vecs := make([][]float64, batch)
+	for i := range vecs {
+		vecs[i] = fixVecs[i%len(fixVecs)]
+	}
+	dst := make([]float64, batch)
+	if err := s.ScoreBatch(dst, vecs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		if err := s.ScoreBatch(dst, vecs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedPipeline times the multi-stream online scorer end to
+// end: submit, queue, shard worker scoring, record append. ns/op is per
+// interval across 4 concurrent streams.
+func BenchmarkShardedPipeline(b *testing.B) {
+	fixtures(b)
+	const streams = 4
+	sh, err := pipeline.NewSharded(fixDet, streams, pipeline.ShardedConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sh.Submit(i%streams, fixMaps[i%len(fixMaps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sh.Close()
 }
 
 // BenchmarkSessionSimulation times the monitored-core substrate: one

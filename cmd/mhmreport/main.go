@@ -7,7 +7,7 @@
 //	mhmreport [-exp all|fig1|training|fig6|fig7|fig8|fig9|fig10|analysis|taskset|
 //	           ablation-lprime|ablation-j|ablation-gran|ablation-baseline|
 //	           ablation-cache|smp|alarms|extended|roc|auto-j|generalize|multiregion|
-//	           metrics]
+//	           metrics|scoring]
 //	          [-scale paper|medium|quick] [-seed N]
 //
 // The paper scale (10 runs x 3 s of training data) takes tens of seconds;
@@ -43,8 +43,8 @@ func scaleByName(name string) (experiments.Scale, error) {
 		s.TrainRuns = 5
 		s.TrainRunMicros = 2_000_000
 		s.CalibRunMicros = 2_000_000
-		s.PCAOptions = pca.Options{VarianceFraction: 0.9999, MaxComponents: 24}
-		s.GMMOptions = gmm.Options{Components: 5, Restarts: 5}
+		s.PCAOptions = pca.Options{VarianceFraction: 0.9999, MaxComponents: 24, Parallel: true}
+		s.GMMOptions = gmm.Options{Components: 5, Restarts: 5, Parallel: true}
 		return s, nil
 	default:
 		return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
@@ -306,6 +306,18 @@ func run(exp, scaleName string, seed int64) error {
 				return err
 			}
 			return metricsSummary(lab, d, seed)
+		}},
+		{"scoring", func() error {
+			d, err := detector()
+			if err != nil {
+				return err
+			}
+			r, err := lab.ScoringThroughput(d, 9200, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
 		}},
 	}
 

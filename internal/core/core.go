@@ -102,6 +102,11 @@ type Detector struct {
 	// uninstrumented scoring pays one nil check per stage.
 	projHist  *obs.Histogram
 	scoreHist *obs.Histogram
+
+	// scoring is the fused engine + pooled scratch (see scoring.go). A
+	// pointer so Detector values stay copyable; nil (hand-assembled
+	// detectors) falls back to the allocating staged path.
+	scoring *scoring
 }
 
 // Instrument installs per-stage latency histograms on the detector:
@@ -149,15 +154,20 @@ func Train(train, calib []*heatmap.HeatMap, cfg Config) (*Detector, error) {
 	}
 
 	d := &Detector{Region: region, PCA: pcaModel, GMM: gmmModel}
+	d.scoring = newScoring(region.Cells(), pcaModel, gmmModel)
 
-	// Calibrate thresholds on the held-out normal set.
-	densities := make([]float64, len(calib))
+	// Calibrate thresholds on the held-out normal set, batched through
+	// the fused engine.
+	calibVecs := make([][]float64, len(calib))
 	for i, m := range calib {
-		lp, err := d.LogDensity(m)
-		if err != nil {
-			return nil, fmt.Errorf("core: calibration MHM %d: %w", i, err)
+		if m.Def != region {
+			return nil, fmt.Errorf("core: calibration MHM %d: %w", i, ErrRegionMismatch)
 		}
-		densities[i] = lp
+		calibVecs[i] = m.Vector()
+	}
+	densities := make([]float64, len(calib))
+	if err := d.scoreVectors(densities, calibVecs); err != nil {
+		return nil, fmt.Errorf("core: calibration: %w", err)
 	}
 	for _, p := range cfg.Quantiles {
 		theta, err := stats.Quantile(densities, p)
@@ -243,18 +253,52 @@ func (d *Detector) LogDensity(m *heatmap.HeatMap) (float64, error) {
 	if m.Def != d.Region {
 		return 0, fmt.Errorf("core: got %+v, trained on %+v: %w", m.Def, d.Region, ErrRegionMismatch)
 	}
-	return d.LogDensityVector(m.Vector())
+	rt := d.scoring
+	if rt == nil {
+		return d.LogDensityVector(m.Vector())
+	}
+	s := rt.pool.Get().(*detScratch)
+	defer rt.pool.Put(s)
+	m.VectorInto(s.vbuf)
+	return d.scoreVector(s, s.vbuf)
 }
 
-// LogDensityVector scores a raw MHM vector (length L).
+// LogDensityVector scores a raw MHM vector (length L). With a scoring
+// runtime (detectors from Train or Load) this is allocation-free and
+// safe for concurrent use; scores are bit-identical either way.
 func (d *Detector) LogDensityVector(v []float64) (float64, error) {
+	rt := d.scoring
+	if rt == nil {
+		// Hand-assembled detector: staged, allocating path.
+		sw := d.projHist.Start()
+		w, err := d.PCA.Project(v)
+		sw = sw.Handoff(d.scoreHist)
+		if err != nil {
+			return 0, err
+		}
+		lp, err := d.GMM.LogProb(w)
+		sw.Stop()
+		return lp, err
+	}
+	s := rt.pool.Get().(*detScratch)
+	defer rt.pool.Put(s)
+	return d.scoreVector(s, v)
+}
+
+// scoreVector scores one vector with pooled scratch: the fused kernel
+// normally, or the staged Into path when per-stage histograms are
+// installed (so project/score timings stay separable).
+func (d *Detector) scoreVector(s *detScratch, v []float64) (float64, error) {
+	if d.projHist == nil && d.scoreHist == nil {
+		return s.sc.Score(v)
+	}
 	sw := d.projHist.Start()
-	w, err := d.PCA.Project(v)
+	err := d.PCA.ProjectInto(s.w, v)
 	sw = sw.Handoff(d.scoreHist)
 	if err != nil {
 		return 0, err
 	}
-	lp, err := d.GMM.LogProb(w)
+	lp, err := d.GMM.LogProbScratch(s.w, s.gs)
 	sw.Stop()
 	return lp, err
 }
@@ -293,13 +337,16 @@ func (d *Detector) Recalibrate(calib []*heatmap.HeatMap) error {
 	if len(calib) == 0 {
 		return fmt.Errorf("core: empty recalibration set: %w", ErrConfig)
 	}
-	densities := make([]float64, len(calib))
+	vecs := make([][]float64, len(calib))
 	for i, m := range calib {
-		lp, err := d.LogDensity(m)
-		if err != nil {
-			return fmt.Errorf("core: recalibration MHM %d: %w", i, err)
+		if m.Def != d.Region {
+			return fmt.Errorf("core: recalibration MHM %d: %w", i, ErrRegionMismatch)
 		}
-		densities[i] = lp
+		vecs[i] = m.Vector()
+	}
+	densities := make([]float64, len(calib))
+	if err := d.scoreVectors(densities, vecs); err != nil {
+		return fmt.Errorf("core: recalibration: %w", err)
 	}
 	newThresholds := make([]Threshold, len(d.Thresholds))
 	for i, th := range d.Thresholds {
@@ -345,12 +392,20 @@ type Verdict struct {
 // ClassifySeries scores a sequence of MHMs against every calibrated
 // threshold — the secure core's per-interval loop.
 func (d *Detector) ClassifySeries(maps []*heatmap.HeatMap) ([]Verdict, error) {
+	vecs := make([][]float64, len(maps))
+	for i, m := range maps {
+		if m.Def != d.Region {
+			return nil, fmt.Errorf("core: interval %d: %w", i, ErrRegionMismatch)
+		}
+		vecs[i] = m.Vector()
+	}
+	densities := make([]float64, len(maps))
+	if err := d.scoreVectors(densities, vecs); err != nil {
+		return nil, fmt.Errorf("core: series: %w", err)
+	}
 	out := make([]Verdict, len(maps))
 	for i, m := range maps {
-		lp, err := d.LogDensity(m)
-		if err != nil {
-			return nil, fmt.Errorf("core: interval %d: %w", i, err)
-		}
+		lp := densities[i]
 		v := Verdict{Index: i, Start: m.Start, End: m.End, LogDensity: lp,
 			Anomalous: make(map[float64]bool, len(d.Thresholds))}
 		for _, th := range d.Thresholds {
@@ -421,11 +476,13 @@ func Load(r io.Reader) (*Detector, error) {
 	if err := dj.Region.Validate(); err != nil {
 		return nil, err
 	}
-	return &Detector{
+	d := &Detector{
 		Region:             dj.Region,
 		PCA:                pcaModel,
 		GMM:                gmmModel,
 		Thresholds:         dj.Thresholds,
 		ResidualThresholds: dj.ResidualThresholds,
-	}, nil
+	}
+	d.scoring = newScoring(dj.Region.Cells(), pcaModel, gmmModel)
+	return d, nil
 }

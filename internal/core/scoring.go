@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/pca"
+	"github.com/memheatmap/mhm/internal/score"
+)
+
+// scoring is the detector's fused scoring runtime: the immutable engine
+// plus a pool of per-call scratch, held behind a single pointer so
+// Detector values stay freely copyable (benchmarks and mhmreport
+// shallow-copy detectors to instrument them independently). Train and
+// Load install it; hand-assembled Detector literals run without one on
+// the legacy allocating path.
+type scoring struct {
+	eng  *score.Engine
+	pool sync.Pool // *detScratch
+}
+
+// detScratch is one pooled unit of per-call working storage.
+type detScratch struct {
+	sc   *score.Scorer // fused single/batch scoring
+	vbuf []float64     // length L: HeatMap.VectorInto target
+	w    []float64     // length L': staged projection output
+	gs   *gmm.Scratch  // staged density evaluation scratch
+}
+
+// newScoring builds the runtime for a trained model pair, or nil when
+// the engine cannot serve it (shape mismatch between the region and the
+// basis); callers fall back to the staged path in that case.
+func newScoring(cells int, p *pca.Model, g *gmm.Model) *scoring {
+	eng, err := score.New(p, g)
+	if err != nil {
+		return nil
+	}
+	l, lp := eng.Dim()
+	if l != cells {
+		return nil
+	}
+	rt := &scoring{eng: eng}
+	rt.pool.New = func() any {
+		return &detScratch{
+			sc:   eng.NewScorer(),
+			vbuf: make([]float64, l),
+			w:    make([]float64, lp),
+			gs:   g.NewScratch(),
+		}
+	}
+	return rt
+}
+
+// ScoreEngine exposes the detector's fused scoring engine, from which
+// callers (the sharded pipeline, experiment fan-outs) derive per-worker
+// Scorers. Detectors assembled by hand rather than through Train or
+// Load get a freshly built engine on every call.
+func (d *Detector) ScoreEngine() (*score.Engine, error) {
+	if d.scoring != nil {
+		return d.scoring.eng, nil
+	}
+	return score.New(d.PCA, d.GMM)
+}
+
+// LogDensityBatch scores a set of raw MHM vectors into dst
+// (len(dst) == len(vecs)) as one blocked panel product through the
+// fused engine — the fast path for calibration sweeps and offline
+// evaluation. Each element is bit-identical to LogDensityVector.
+func (d *Detector) LogDensityBatch(dst []float64, vecs [][]float64) error {
+	if len(dst) != len(vecs) {
+		return fmt.Errorf("core: batch dst length %d for %d vectors: %w", len(dst), len(vecs), ErrConfig)
+	}
+	return d.scoreVectors(dst, vecs)
+}
+
+// scoreVectors scores a set of raw MHM vectors into dst through the
+// batch engine (falling back to per-vector scoring without a runtime).
+// Bit-identical to LogDensityVector on each element.
+func (d *Detector) scoreVectors(dst []float64, vecs [][]float64) error {
+	if rt := d.scoring; rt != nil {
+		s := rt.pool.Get().(*detScratch)
+		defer rt.pool.Put(s)
+		return s.sc.ScoreBatch(dst, vecs)
+	}
+	for i, v := range vecs {
+		lp, err := d.LogDensityVector(v)
+		if err != nil {
+			return err
+		}
+		dst[i] = lp
+	}
+	return nil
+}

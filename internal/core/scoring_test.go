@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/obs"
+)
+
+var errMismatch = errors.New("concurrent score differs from serial score")
+
+// stagedCopy strips the scoring runtime so the copy scores through the
+// legacy staged pca.Project + gmm.LogProb path.
+func stagedCopy(d *Detector) *Detector {
+	c := *d
+	c.scoring = nil
+	return &c
+}
+
+// TestFusedMatchesStagedDetector is the detector-level acceptance bound:
+// the fused engine must reproduce the staged LogDensityVector within
+// 1e-12 on hundreds of held-out vectors (it is built to be
+// bit-identical, which is also what keeps calibrated θ_p stable).
+func TestFusedMatchesStagedDetector(t *testing.T) {
+	d, rng := trainTestDetector(t)
+	if d.scoring == nil {
+		t.Fatal("trained detector has no scoring runtime")
+	}
+	staged := stagedCopy(d)
+	for i := 0; i < 600; i++ {
+		var m = patternMap(rng, i)
+		if i%5 == 0 {
+			m = anomalyMap(rng)
+		}
+		v := m.Vector()
+		want, err := staged.LogDensityVector(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.LogDensityVector(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("vector %d: fused %v, staged %v", i, got, want)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("vector %d: fused score not bit-identical to staged", i)
+		}
+		gotM, err := d.LogDensity(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(gotM) != math.Float64bits(want) {
+			t.Fatalf("vector %d: LogDensity differs from LogDensityVector", i)
+		}
+	}
+}
+
+// TestDetectorScoringZeroAlloc pins the steady-state allocation contract
+// of the detector entry points — fused, and staged-with-histograms.
+func TestDetectorScoringZeroAlloc(t *testing.T) {
+	d, rng := trainTestDetector(t)
+	m := patternMap(rng, 0)
+	v := m.Vector()
+
+	if _, err := d.LogDensityVector(v); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := d.LogDensityVector(v); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("fused LogDensityVector allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := d.LogDensity(m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("fused LogDensity allocates %.1f/op, want 0", n)
+	}
+
+	// Instrumented detectors take the staged Into path so the per-stage
+	// histograms stay meaningful; it must be allocation-free too.
+	inst := *d
+	inst.Instrument(obs.NewRegistry())
+	if _, err := inst.LogDensity(m); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := inst.LogDensity(m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("instrumented LogDensity allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestScoreEngineAfterTrainAndLoad: both constructors install the fused
+// engine, and Save/Load reproduces scoring bit for bit.
+func TestScoreEngineAfterTrainAndLoad(t *testing.T) {
+	d, rng := trainTestDetector(t)
+	eng, err := d.ScoreEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, lp := eng.Dim(); l != 64 || lp != 4 {
+		t.Fatalf("engine dims (%d, %d)", l, lp)
+	}
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.scoring == nil {
+		t.Fatal("loaded detector has no scoring runtime")
+	}
+	m := patternMap(rng, 1)
+	want, err := d.LogDensity(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.LogDensity(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("loaded detector scores %v, trained %v", got, want)
+	}
+
+	// A hand-assembled detector still works through the fallback.
+	bare := &Detector{Region: d.Region, PCA: d.PCA, GMM: d.GMM, Thresholds: d.Thresholds}
+	if _, err := bare.ScoreEngine(); err != nil {
+		t.Fatalf("bare ScoreEngine: %v", err)
+	}
+	got, err = bare.LogDensity(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("bare detector scores %v, trained %v", got, want)
+	}
+}
+
+// TestConcurrentScoringConsistent hammers the pooled scratch from many
+// goroutines; every concurrent score must equal its serial counterpart.
+// Run under -race in CI.
+func TestConcurrentScoringConsistent(t *testing.T) {
+	d, rng := trainTestDetector(t)
+	const n = 64
+	maps := make([]*heatmap.HeatMap, 0, n)
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := patternMap(rng, i)
+		maps = append(maps, m)
+		lp, err := d.LogDensity(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = lp
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 200; iter++ {
+				i := rr.Intn(n)
+				lp, err := d.LogDensity(maps[i])
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if math.Float64bits(lp) != math.Float64bits(want[i]) {
+					errs[g] = errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

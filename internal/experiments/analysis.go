@@ -74,7 +74,7 @@ func (l *Lab) AnalysisTime(seedBase int64, samples int) (*AnalysisTimeResult, er
 	for i, cfg := range analysisConfigs {
 		lab := &Lab{Img: l.Img, Scale: l.Scale}
 		lab.Scale.Gran = cfg.gran
-		lab.Scale.PCAOptions = pca.Options{Components: cfg.lprime}
+		lab.Scale.PCAOptions = pca.Options{Components: cfg.lprime, Parallel: true}
 		det, _, err := lab.TrainDetector(seedBase + int64(100*i))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: analysis config %d: %w", i, err)

@@ -175,18 +175,20 @@ func (l *Lab) TrainDetector(seedBase int64) (*core.Detector, TrainingReport, err
 	if err != nil {
 		return nil, TrainingReport{}, err
 	}
-	// Training log-likelihood for the report.
-	reduced := make([][]float64, len(train))
+	// Training log-likelihood for the report, as one pass through the
+	// detector's batched scoring engine (Σ log Pr over the training set,
+	// summed in the same order TotalLogLikelihood would).
+	vecs := make([][]float64, len(train))
 	for i, m := range train {
-		w, err := det.PCA.Project(m.Vector())
-		if err != nil {
-			return nil, TrainingReport{}, err
-		}
-		reduced[i] = w
+		vecs[i] = m.Vector()
 	}
-	ll, err := det.GMM.TotalLogLikelihood(reduced)
-	if err != nil {
+	dens := make([]float64, len(train))
+	if err := det.LogDensityBatch(dens, vecs); err != nil {
 		return nil, TrainingReport{}, err
+	}
+	ll := 0.0
+	for _, d := range dens {
+		ll += d
 	}
 	cells, lprime := det.Dim()
 	rep := TrainingReport{

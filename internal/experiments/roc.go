@@ -7,6 +7,7 @@ import (
 	"github.com/memheatmap/mhm/internal/attack"
 	"github.com/memheatmap/mhm/internal/core"
 	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/heatmap"
 	"github.com/memheatmap/mhm/internal/stats"
 	"github.com/memheatmap/mhm/internal/workload"
 )
@@ -51,21 +52,17 @@ func (l *Lab) ROC(det *core.Detector, seedBase int64, ps []float64) (*ROCResult,
 	if err != nil {
 		return nil, err
 	}
-	calibDens := make([]float64, len(calib))
-	for i, m := range calib {
-		if calibDens[i], err = det.LogDensity(m); err != nil {
-			return nil, err
-		}
+	calibDens, err := batchDensities(det, calib)
+	if err != nil {
+		return nil, err
 	}
 	normal, err := l.CollectNormal(seedBase+2, l.Scale.CalibRunMicros)
 	if err != nil {
 		return nil, err
 	}
-	normDens := make([]float64, len(normal))
-	for i, m := range normal {
-		if normDens[i], err = det.LogDensity(m); err != nil {
-			return nil, err
-		}
+	normDens, err := batchDensities(det, normal)
+	if err != nil {
+		return nil, err
 	}
 	iv := l.Scale.IntervalMicros
 	launchIv := 100
@@ -74,16 +71,15 @@ func (l *Lab) ROC(det *core.Detector, seedBase int64, ps []float64) (*ROCResult,
 	if err != nil {
 		return nil, err
 	}
-	var attackDens []float64
+	var postLaunch []*heatmap.HeatMap
 	for i, m := range attacked {
-		if i <= launchIv {
-			continue
+		if i > launchIv {
+			postLaunch = append(postLaunch, m)
 		}
-		d, err := det.LogDensity(m)
-		if err != nil {
-			return nil, err
-		}
-		attackDens = append(attackDens, d)
+	}
+	attackDens, err := batchDensities(det, postLaunch)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &ROCResult{Scenario: sc.Name()}
@@ -100,6 +96,20 @@ func (l *Lab) ROC(det *core.Detector, seedBase int64, ps []float64) (*ROCResult,
 		})
 	}
 	return res, nil
+}
+
+// batchDensities scores a capture in one pass through the detector's
+// batched engine; element i matches det.LogDensity(maps[i]) bit for bit.
+func batchDensities(det *core.Detector, maps []*heatmap.HeatMap) ([]float64, error) {
+	vecs := make([][]float64, len(maps))
+	for i, m := range maps {
+		vecs[i] = m.Vector()
+	}
+	out := make([]float64, len(maps))
+	if err := det.LogDensityBatch(out, vecs); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func flagRateBelow(densities []float64, theta float64) float64 {
@@ -145,11 +155,13 @@ func (l *Lab) AutoJ(seedBase int64, minJ, maxJ int) (*AutoJResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	reduced := make([][]float64, len(maps))
+	vecs := make([][]float64, len(maps))
 	for i, m := range maps {
-		if reduced[i], err = det.PCA.Project(m.Vector()); err != nil {
-			return nil, err
-		}
+		vecs[i] = m.Vector()
+	}
+	reduced, err := det.PCA.ProjectAll(vecs)
+	if err != nil {
+		return nil, err
 	}
 	opts := l.Scale.GMMOptions
 	best, sweep, err := gmm.TrainAuto(reduced, minJ, maxJ, opts)

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScoringThroughputShape checks the A10 experiment's structure:
+// three modes over the same interval count, single as the 1x baseline,
+// and a renderable table. Timing magnitudes are hardware-dependent and
+// asserted only by the committed benchmark baseline, not here.
+func TestScoringThroughputShape(t *testing.T) {
+	lab, det, _ := quickLab(t)
+	r, err := lab.ScoringThroughput(det, 5100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(r.Rows))
+	}
+	modes := []string{"single", "batch64", "sharded"}
+	for i, row := range r.Rows {
+		if row.Mode != modes[i] {
+			t.Errorf("row %d mode %q, want %q", i, row.Mode, modes[i])
+		}
+		if row.Intervals <= 0 || row.PerMHMMicros <= 0 {
+			t.Errorf("row %q: intervals %d, per-MHM %v", row.Mode, row.Intervals, row.PerMHMMicros)
+		}
+		if row.Speedup <= 0 {
+			t.Errorf("row %q: speedup %v", row.Mode, row.Speedup)
+		}
+	}
+	if r.Rows[0].Speedup != 1 {
+		t.Errorf("single speedup %v, want 1", r.Rows[0].Speedup)
+	}
+	if r.Streams < 2 || r.Shards < 1 || r.Batch != 64 {
+		t.Errorf("topology streams=%d shards=%d batch=%d", r.Streams, r.Shards, r.Batch)
+	}
+	out := r.String()
+	for _, want := range []string{"A10", "single", "batch64", "sharded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

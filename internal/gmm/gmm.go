@@ -51,24 +51,8 @@ func (c *Component) prepare() error {
 
 // LogPDF returns ln f(x | µ, Σ).
 func (c *Component) LogPDF(x []float64) (float64, error) {
-	if len(x) != len(c.Mean) {
-		return 0, fmt.Errorf("gmm: LogPDF: dim %d, want %d: %w", len(x), len(c.Mean), ErrTraining)
-	}
-	if c.chol == nil {
-		if err := c.prepare(); err != nil {
-			return 0, err
-		}
-	}
-	d := make([]float64, len(x))
-	for i := range x {
-		d[i] = x[i] - c.Mean[i]
-	}
-	m2, err := c.chol.MahalanobisSq(d)
-	if err != nil {
-		return 0, err
-	}
-	dim := float64(len(x))
-	return -0.5 * (dim*log2Pi + c.logDet + m2), nil
+	n := len(c.Mean)
+	return c.logPDFScratch(x, make([]float64, n), make([]float64, n))
 }
 
 // Model is a J-component Gaussian mixture.
@@ -90,32 +74,7 @@ func (m *Model) LogProb(x []float64) (float64, error) {
 	if len(m.Components) == 0 {
 		return 0, fmt.Errorf("gmm: empty model: %w", ErrTraining)
 	}
-	best := math.Inf(-1)
-	terms := make([]float64, 0, len(m.Components))
-	for j := range m.Components {
-		c := &m.Components[j]
-		if c.Weight <= 0 {
-			continue
-		}
-		lp, err := c.LogPDF(x)
-		if err != nil {
-			return 0, err
-		}
-		term := math.Log(c.Weight) + lp
-		terms = append(terms, term)
-		if term > best {
-			best = term
-		}
-	}
-	if len(terms) == 0 || math.IsInf(best, -1) {
-		return math.Inf(-1), nil
-	}
-	// Log-sum-exp.
-	s := 0.0
-	for _, t := range terms {
-		s += math.Exp(t - best)
-	}
-	return best + math.Log(s), nil
+	return m.LogProbScratch(x, m.NewScratch())
 }
 
 // Responsibilities returns the posterior component probabilities for x.

@@ -1,0 +1,96 @@
+// Scratch-based scoring: allocation-free variants of the density
+// evaluations for hot callers (the online detection loop scores one MHM
+// every monitoring interval). The arithmetic is identical to the
+// allocating entry points — LogProb routes through LogProbScratch — so
+// both paths produce bit-identical densities.
+package gmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scratch holds the working storage one LogProbScratch call needs. A
+// Scratch is owned by a single goroutine; share a Model across
+// goroutines by giving each its own Scratch.
+type Scratch struct {
+	diff  []float64 // x − µ_j, dimension D
+	y     []float64 // forward-substitution solution, dimension D
+	terms []float64 // per-component log terms, capacity J
+}
+
+// NewScratch returns scratch sized for m.
+func (m *Model) NewScratch() *Scratch {
+	d := m.Dim()
+	return &Scratch{
+		diff:  make([]float64, d),
+		y:     make([]float64, d),
+		terms: make([]float64, 0, len(m.Components)),
+	}
+}
+
+// fits reports whether s can score a model of dimension d with j
+// components.
+func (s *Scratch) fits(d, j int) bool {
+	return s != nil && len(s.diff) == d && len(s.y) == d && cap(s.terms) >= j
+}
+
+// logPDFScratch is LogPDF with caller-owned buffers for the mean offset
+// and the triangular solve.
+func (c *Component) logPDFScratch(x, diff, y []float64) (float64, error) {
+	if len(x) != len(c.Mean) {
+		return 0, fmt.Errorf("gmm: LogPDF: dim %d, want %d: %w", len(x), len(c.Mean), ErrTraining)
+	}
+	if c.chol == nil {
+		if err := c.prepare(); err != nil {
+			return 0, err
+		}
+	}
+	for i := range x {
+		diff[i] = x[i] - c.Mean[i]
+	}
+	m2, err := c.chol.MahalanobisSqScratch(diff, y)
+	if err != nil {
+		return 0, err
+	}
+	dim := float64(len(x))
+	return -0.5 * (dim*log2Pi + c.logDet + m2), nil
+}
+
+// LogProbScratch is LogProb without per-call allocation: all working
+// storage comes from s (from Model.NewScratch). The result is
+// bit-identical to LogProb.
+func (m *Model) LogProbScratch(x []float64, s *Scratch) (float64, error) {
+	if len(m.Components) == 0 {
+		return 0, fmt.Errorf("gmm: empty model: %w", ErrTraining)
+	}
+	if !s.fits(len(m.Components[0].Mean), len(m.Components)) {
+		return 0, fmt.Errorf("gmm: scratch does not fit model (use Model.NewScratch): %w", ErrTraining)
+	}
+	best := math.Inf(-1)
+	terms := s.terms[:0]
+	for j := range m.Components {
+		c := &m.Components[j]
+		if c.Weight <= 0 {
+			continue
+		}
+		lp, err := c.logPDFScratch(x, s.diff, s.y)
+		if err != nil {
+			return 0, err
+		}
+		term := math.Log(c.Weight) + lp
+		terms = append(terms, term)
+		if term > best {
+			best = term
+		}
+	}
+	if len(terms) == 0 || math.IsInf(best, -1) {
+		return math.Inf(-1), nil
+	}
+	// Log-sum-exp.
+	sum := 0.0
+	for _, t := range terms {
+		sum += math.Exp(t - best)
+	}
+	return best + math.Log(sum), nil
+}

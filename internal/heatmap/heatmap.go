@@ -195,10 +195,22 @@ func (h *HeatMap) Add(o *HeatMap) error {
 // pipeline (mean-shift, PCA projection) operates on.
 func (h *HeatMap) Vector() []float64 {
 	out := make([]float64, len(h.Counts))
-	for i, c := range h.Counts {
-		out[i] = float64(c)
-	}
+	h.VectorInto(out)
 	return out
+}
+
+// VectorInto widens the counts into dst without allocating. It panics on
+// length mismatch: like the mat vector helpers, the cell count is a
+// structural invariant, not a runtime input.
+//
+//mhm:hotpath
+func (h *HeatMap) VectorInto(dst []float64) {
+	if len(dst) != len(h.Counts) {
+		panic("heatmap: VectorInto: dst length differs from cell count")
+	}
+	for i, c := range h.Counts {
+		dst[i] = float64(c)
+	}
 }
 
 // L1Distance returns the sum of absolute per-cell count differences.

@@ -1,9 +1,9 @@
 // The floateq analyzer bans exact ==/!= comparison of floating-point
-// operands in the numeric packages (gmm, pca, stats): EM convergence,
-// eigenvalue selection and quantile math must compare through the
-// tolerance helpers in internal/mat (mat.IsZero, mat.Eq, mat.EqTol),
-// which spell out the intended precision instead of relying on exact
-// bit equality.
+// operands in the numeric packages (gmm, pca, stats, score): EM
+// convergence, eigenvalue selection, quantile math and the fused
+// scoring kernels must compare through the tolerance helpers in
+// internal/mat (mat.IsZero, mat.Eq, mat.EqTol), which spell out the
+// intended precision instead of relying on exact bit equality.
 package lint
 
 import (
@@ -15,13 +15,13 @@ import (
 
 // FloatEqScope lists the import-path suffixes (whole trailing segments)
 // the floateq analyzer applies to.
-var FloatEqScope = []string{"gmm", "pca", "stats"}
+var FloatEqScope = []string{"gmm", "pca", "stats", "score"}
 
 // FloatEqAnalyzer returns the floateq analyzer.
 func FloatEqAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "floateq",
-		Doc:  "no ==/!= between floating-point operands in gmm/pca/stats; use mat epsilon helpers",
+		Doc:  "no ==/!= between floating-point operands in gmm/pca/stats/score; use mat epsilon helpers",
 		Run:  floateqRun,
 	}
 }

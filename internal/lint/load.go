@@ -8,6 +8,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -59,7 +60,11 @@ func skipDir(name string) bool {
 		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
 }
 
-// goSources lists the non-test .go files of dir, sorted.
+// goSources lists the non-test .go files of dir that build on the host
+// platform, sorted. Build-constraint filtering (//go:build lines and
+// _GOOS/_GOARCH filename suffixes) matches what the go tool would
+// compile, so arch-specific files with pure-Go fallbacks don't
+// redeclare their symbols here.
 func goSources(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -70,6 +75,9 @@ func goSources(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		files = append(files, filepath.Join(dir, name))

@@ -145,14 +145,25 @@ func Mul(a, b *Matrix) (*Matrix, error) {
 
 // MulVec returns a*x as a new vector.
 func (m *Matrix) MulVec(x []float64) ([]float64, error) {
-	if len(x) != m.cols {
-		return nil, fmt.Errorf("mat: MulVec: vector len %d, matrix %dx%d: %w", len(x), m.rows, m.cols, ErrShape)
-	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Dot(m.Row(i), x)
+	if err := m.MulVecInto(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MulVecInto computes a*x into dst (length Rows()) without allocating.
+func (m *Matrix) MulVecInto(dst, x []float64) error {
+	if len(x) != m.cols {
+		return fmt.Errorf("mat: MulVec: vector len %d, matrix %dx%d: %w", len(x), m.rows, m.cols, ErrShape)
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("mat: MulVec: dst len %d, matrix %dx%d: %w", len(dst), m.rows, m.cols, ErrShape)
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+	return nil
 }
 
 // TMulVec returns aᵀ*x without materializing the transpose.

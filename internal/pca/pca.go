@@ -209,16 +209,30 @@ func (m *Model) VarianceExplained() float64 {
 // (Eq. 1: M' = uᵀ(M − Ψ), computed as uᵀM − uᵀΨ with the second term
 // cached).
 func (m *Model) Project(v []float64) ([]float64, error) {
-	l, lp := m.Dim()
-	if len(v) != l {
-		return nil, fmt.Errorf("pca: Project: length %d, want %d: %w", len(v), l, ErrTraining)
-	}
-	m.prepare()
+	_, lp := m.Dim()
 	out := make([]float64, lp)
-	for j := 0; j < lp; j++ {
-		out[j] = mat.Dot(m.compT.Row(j), v) - m.meanOff[j]
+	if err := m.ProjectInto(out, v); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ProjectInto computes Project into dst (length L'), allocating nothing
+// after the projection cache is built on first use. Safe for concurrent
+// use with distinct dst slices.
+func (m *Model) ProjectInto(dst, v []float64) error {
+	l, lp := m.Dim()
+	if len(v) != l {
+		return fmt.Errorf("pca: Project: length %d, want %d: %w", len(v), l, ErrTraining)
+	}
+	if len(dst) != lp {
+		return fmt.Errorf("pca: Project: dst length %d, want %d: %w", len(dst), lp, ErrTraining)
+	}
+	m.prepare()
+	for j := 0; j < lp; j++ {
+		dst[j] = mat.Dot(m.compT.Row(j), v) - m.meanOff[j]
+	}
+	return nil
 }
 
 // ProjectAll transforms a whole set.

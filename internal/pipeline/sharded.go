@@ -1,0 +1,250 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/memheatmap/mhm/internal/alarm"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/obs"
+	"github.com/memheatmap/mhm/internal/score"
+)
+
+// ShardedConfig tunes the multi-stream scorer.
+type ShardedConfig struct {
+	// Shards is the worker count; default min(streams, GOMAXPROCS).
+	Shards int
+	// QueueDepth is the per-shard queue capacity (default 64). A full
+	// queue blocks Submit — back-pressure, not drops: the monitor slows
+	// rather than silently losing intervals.
+	QueueDepth int
+	// Quantile selects the calibrated threshold (default 0.01 = θ1).
+	Quantile float64
+	// Alarm configures per-stream debouncing (zero value = defaults).
+	Alarm alarm.Config
+	// Metrics, when non-nil, installs per-shard interval/anomaly
+	// counters and analysis-latency histograms
+	// (pipeline.shard<i>.intervals / .anomalous / .analysis_micros).
+	Metrics *obs.Registry
+}
+
+// shardWorker is one worker's private state: a Scorer over the shared
+// engine plus the widening buffer, so steady-state scoring never
+// allocates no matter how many streams multiplex onto the shard.
+type shardWorker struct {
+	sc   *score.Scorer
+	vbuf []float64
+
+	intervals *obs.Counter
+	anomalous *obs.Counter
+	analysis  *obs.Histogram
+}
+
+// streamState is one monitored stream: its interval records and alarm
+// runtime. Stream→shard affinity means exactly one worker writes here;
+// the mutex only fences those writes against read-side Records/Alarms.
+type streamState struct {
+	mu      sync.Mutex
+	records []IntervalRecord
+	index   int
+	rt      *alarm.Runtime
+}
+
+// workItem is one queued interval.
+type workItem struct {
+	stream int
+	m      *heatmap.HeatMap
+}
+
+// Sharded scores N concurrent monitored streams over a fixed pool of
+// shard workers, each owning a score.Scorer derived from the detector's
+// fused engine. Streams are pinned to shards (stream mod shards) and
+// each shard is a single goroutine draining a FIFO queue, so intervals
+// of any one stream are always scored and recorded in submission order;
+// scores are bit-identical to the serial Pipeline. Bounded queues give
+// back-pressure: Submit blocks when a shard falls behind.
+type Sharded struct {
+	region  heatmap.Def
+	theta   float64
+	workers []*shardWorker
+	chans   []chan workItem
+	streams []*streamState
+
+	mu     sync.RWMutex // fences Submit against Close
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewSharded builds the sharded scorer for a fixed number of streams
+// over a trained detector.
+func NewSharded(det *core.Detector, streams int, cfg ShardedConfig) (*Sharded, error) {
+	if det == nil {
+		return nil, fmt.Errorf("pipeline: nil detector: %w", ErrConfig)
+	}
+	if streams <= 0 {
+		return nil, fmt.Errorf("pipeline: %d streams: %w", streams, ErrConfig)
+	}
+	if cfg.Quantile == 0 {
+		cfg.Quantile = 0.01
+	}
+	theta, err := det.Threshold(cfg.Quantile)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	eng, err := det.ScoreEngine()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	l, _ := eng.Dim()
+	if l != det.Region.Cells() {
+		return nil, fmt.Errorf("pipeline: engine dimension %d, region cells %d: %w",
+			l, det.Region.Cells(), ErrConfig)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > streams {
+		shards = streams
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+
+	s := &Sharded{
+		region:  det.Region,
+		theta:   theta,
+		workers: make([]*shardWorker, shards),
+		chans:   make([]chan workItem, shards),
+		streams: make([]*streamState, streams),
+	}
+	for i := range s.streams {
+		rt, err := alarm.NewRuntime(cfg.Alarm)
+		if err != nil {
+			return nil, err
+		}
+		s.streams[i] = &streamState{rt: rt}
+	}
+	for i := range s.workers {
+		w := &shardWorker{sc: eng.NewScorer(), vbuf: make([]float64, l)}
+		if cfg.Metrics != nil {
+			w.intervals = cfg.Metrics.Counter(fmt.Sprintf("pipeline.shard%d.intervals", i))
+			w.anomalous = cfg.Metrics.Counter(fmt.Sprintf("pipeline.shard%d.anomalous", i))
+			w.analysis = cfg.Metrics.Histogram(fmt.Sprintf("pipeline.shard%d.analysis_micros", i), obs.LatencyBuckets)
+		}
+		s.workers[i] = w
+		s.chans[i] = make(chan workItem, depth)
+		s.wg.Add(1)
+		go s.run(i)
+	}
+	return s, nil
+}
+
+// Streams and Shards report the configured topology.
+func (s *Sharded) Streams() int { return len(s.streams) }
+func (s *Sharded) Shards() int  { return len(s.workers) }
+
+// Submit queues one completed MHM of a stream for scoring. It blocks
+// when the stream's shard queue is full (back-pressure) and returns an
+// error after Close or for a foreign region. Callers must not submit to
+// the same stream from multiple goroutines if they need a meaningful
+// per-stream order; distinct streams are free to submit concurrently.
+func (s *Sharded) Submit(stream int, m *heatmap.HeatMap) error {
+	if stream < 0 || stream >= len(s.streams) {
+		return fmt.Errorf("pipeline: stream %d out of [0,%d): %w", stream, len(s.streams), ErrConfig)
+	}
+	if m.Def != s.region {
+		return fmt.Errorf("pipeline: stream %d: %w", stream, core.ErrRegionMismatch)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("pipeline: submit after close: %w", ErrConfig)
+	}
+	s.chans[stream%len(s.chans)] <- workItem{stream: stream, m: m}
+	return nil
+}
+
+// run is one shard worker: it drains the shard's FIFO queue, scoring
+// each interval with the worker's private Scorer and appending to the
+// owning stream's record in submission order.
+func (s *Sharded) run(shard int) {
+	defer s.wg.Done()
+	w := s.workers[shard]
+	for it := range s.chans[shard] {
+		start := time.Now()
+		it.m.VectorInto(w.vbuf)
+		lp, err := w.sc.Score(w.vbuf)
+		if err != nil {
+			// Unreachable: Submit pinned the region, so the vector length
+			// always matches the engine.
+			panic("pipeline: sharded score: " + err.Error())
+		}
+		anomalous := lp < s.theta
+		rec := IntervalRecord{
+			Start:          it.m.Start,
+			End:            it.m.End,
+			LogDensity:     lp,
+			Anomalous:      anomalous,
+			AnalysisMicros: float64(time.Since(start).Nanoseconds()) / 1e3,
+		}
+		st := s.streams[it.stream]
+		st.mu.Lock()
+		rec.Index = st.index
+		st.index++
+		rec.Event = st.rt.Observe(anomalous, it.m.End)
+		st.records = append(st.records, rec)
+		st.mu.Unlock()
+
+		w.intervals.Inc()
+		if anomalous {
+			w.anomalous.Inc()
+		}
+		w.analysis.Observe(rec.AnalysisMicros)
+	}
+}
+
+// Records returns the analyzed intervals of one stream so far, in
+// submission order.
+func (s *Sharded) Records(stream int) ([]IntervalRecord, error) {
+	if stream < 0 || stream >= len(s.streams) {
+		return nil, fmt.Errorf("pipeline: stream %d out of [0,%d): %w", stream, len(s.streams), ErrConfig)
+	}
+	st := s.streams[stream]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]IntervalRecord, len(st.records))
+	copy(out, st.records)
+	return out, nil
+}
+
+// Alarms returns one stream's alarm transitions so far.
+func (s *Sharded) Alarms(stream int) ([]alarm.Event, error) {
+	if stream < 0 || stream >= len(s.streams) {
+		return nil, fmt.Errorf("pipeline: stream %d out of [0,%d): %w", stream, len(s.streams), ErrConfig)
+	}
+	st := s.streams[stream]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rt.Events(), nil
+}
+
+// Close drains the queues, stops the workers, and waits for them.
+// Further Submit calls fail; Records and Alarms remain readable.
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/pca"
+)
+
+// streamSeries builds each stream's interval sequence: mostly normal
+// maps with a burst of anomalies, timestamped so ordering is checkable.
+func streamSeries(rng *rand.Rand, stream, n int) []*heatmap.HeatMap {
+	maps := make([]*heatmap.HeatMap, n)
+	for i := 0; i < n; i++ {
+		var m *heatmap.HeatMap
+		if i >= n/2 && i < n/2+10 {
+			m = anomalyMap(rng)
+		} else {
+			m = patternMap(rng, stream+i)
+		}
+		m.Start = int64(i) * 1000
+		m.End = m.Start + 1000
+		maps[i] = m
+	}
+	return maps
+}
+
+// TestShardedMatchesSerial is the stress gate (run under -race in CI):
+// several concurrent streams, hundreds of intervals each, scored by a
+// sharded pool — every stream's records must come back in submission
+// order with scores and verdicts bit-identical to a serial Pipeline fed
+// the same intervals.
+func TestShardedMatchesSerial(t *testing.T) {
+	det, _ := trainDetector(t, false)
+
+	const (
+		streams   = 6
+		intervals = 250
+	)
+	series := make([][]*heatmap.HeatMap, streams)
+	for i := range series {
+		series[i] = streamSeries(rand.New(rand.NewSource(int64(100+i))), i, intervals)
+	}
+
+	// Serial references, one fresh pipeline per stream.
+	want := make([][]IntervalRecord, streams)
+	for i, maps := range series {
+		p, err := New(det, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(t, p, maps)
+		want[i] = p.Records()
+	}
+
+	sh, err := NewSharded(det, streams, ShardedConfig{Shards: 3, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Streams() != streams || sh.Shards() != 3 {
+		t.Fatalf("topology (%d, %d)", sh.Streams(), sh.Shards())
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, m := range series[i] {
+				if err := sh.Submit(i, m); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	sh.Close()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+	}
+
+	for i := 0; i < streams; i++ {
+		got, err := sh.Records(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != intervals {
+			t.Fatalf("stream %d: %d records, want %d", i, len(got), intervals)
+		}
+		for j, rec := range got {
+			if rec.Index != j {
+				t.Fatalf("stream %d: record %d has index %d — order broken", i, j, rec.Index)
+			}
+			ref := want[i][j]
+			if rec.Start != ref.Start || rec.End != ref.End {
+				t.Fatalf("stream %d interval %d: bounds (%d,%d), want (%d,%d)",
+					i, j, rec.Start, rec.End, ref.Start, ref.End)
+			}
+			if math.Float64bits(rec.LogDensity) != math.Float64bits(ref.LogDensity) {
+				t.Fatalf("stream %d interval %d: sharded density %v, serial %v",
+					i, j, rec.LogDensity, ref.LogDensity)
+			}
+			if rec.Anomalous != ref.Anomalous {
+				t.Fatalf("stream %d interval %d: verdict %v, serial %v",
+					i, j, rec.Anomalous, ref.Anomalous)
+			}
+		}
+		// The per-stream alarm runtimes see the same verdict sequence, so
+		// the alarm transitions must line up too.
+		alarms, err := sh.Alarms(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var refAlarms []int
+		for _, r := range want[i] {
+			if r.Event != nil {
+				refAlarms = append(refAlarms, r.Index)
+			}
+		}
+		var gotAlarms []int
+		for _, r := range got {
+			if r.Event != nil {
+				gotAlarms = append(gotAlarms, r.Index)
+			}
+		}
+		if !reflect.DeepEqual(gotAlarms, refAlarms) {
+			t.Fatalf("stream %d: alarm transitions at %v, serial %v", i, gotAlarms, refAlarms)
+		}
+		if len(alarms) == 0 && len(refAlarms) > 0 {
+			t.Fatalf("stream %d: alarm runtime recorded no events", i)
+		}
+	}
+}
+
+// TestShardedValidation covers configuration and submission errors.
+func TestShardedValidation(t *testing.T) {
+	det, rng := trainDetector(t, false)
+	if _, err := NewSharded(nil, 1, ShardedConfig{}); err == nil {
+		t.Error("nil detector accepted")
+	}
+	if _, err := NewSharded(det, 0, ShardedConfig{}); err == nil {
+		t.Error("zero streams accepted")
+	}
+	if _, err := NewSharded(det, 1, ShardedConfig{Quantile: 0.42}); err == nil {
+		t.Error("uncalibrated quantile accepted")
+	}
+
+	sh, err := NewSharded(det, 2, ShardedConfig{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shards() != 2 {
+		t.Errorf("shards not capped at streams: %d", sh.Shards())
+	}
+	if err := sh.Submit(2, patternMap(rng, 0)); err == nil {
+		t.Error("out-of-range stream accepted")
+	}
+	foreign, _ := heatmap.New(heatmap.Def{AddrBase: 0, Size: 1024, Gran: 256})
+	if err := sh.Submit(0, foreign); err == nil {
+		t.Error("foreign region accepted")
+	}
+	sh.Close()
+	sh.Close() // idempotent
+	if err := sh.Submit(0, patternMap(rng, 0)); err == nil {
+		t.Error("submit after close accepted")
+	}
+	if _, err := sh.Records(0); err != nil {
+		t.Errorf("records after close: %v", err)
+	}
+}
+
+// TestParallelTrainingDeterministic: the Parallel training options that
+// experiments now default to must reproduce the serial model exactly —
+// same eigenmemories, same mixture, same thresholds — so flipping the
+// flag can never shift calibrated behaviour.
+func TestParallelTrainingDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var train, calib []*heatmap.HeatMap
+	for i := 0; i < 200; i++ {
+		train = append(train, patternMap(rng, i))
+	}
+	for i := 0; i < 100; i++ {
+		calib = append(calib, patternMap(rng, i))
+	}
+	mk := func(parallel bool) *core.Detector {
+		d, err := core.Train(train, calib, core.Config{
+			PCA: pca.Options{Components: 4, Parallel: parallel},
+			GMM: gmm.Options{Components: 3, Restarts: 2, Parallel: parallel},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	serial, parallel := mk(false), mk(true)
+
+	if !reflect.DeepEqual(serial.Thresholds, parallel.Thresholds) {
+		t.Fatalf("thresholds differ: %+v vs %+v", serial.Thresholds, parallel.Thresholds)
+	}
+	for i := 0; i < 50; i++ {
+		m := patternMap(rng, i)
+		a, err := serial.LogDensity(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.LogDensity(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("map %d: serial model %v, parallel model %v", i, a, b)
+		}
+	}
+}

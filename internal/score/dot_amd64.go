@@ -1,0 +1,15 @@
+//go:build amd64
+
+package score
+
+// dotPacked8 accumulates eight dot products against one panel-row tile
+// over a column-major packed block: out[k] += Σ_i row[i]·packed[i*8+k].
+// The SSE2 kernel (baseline amd64, no feature detection needed) assigns
+// each of the eight vectors its own SIMD lane; every lane multiplies
+// then adds in ascending index order, exactly like the scalar loop, so
+// chaining the accumulators across tiles stays bit-identical to
+// mat.Dot. len(packed) must be 8·len(row).
+//
+//mhm:hotpath
+//go:noescape
+func dotPacked8(row, packed []float64, out *[8]float64)

@@ -1,0 +1,55 @@
+// SSE2 micro-kernel for the batched eigenmemory projection: eight
+// packed dot-product accumulations against one panel-row tile, one
+// vector per SIMD lane. Lane k adds row[i]*packed[i*8+k] onto out[k] in
+// ascending i with separate multiply and add (no FMA), so a lane's
+// accumulator chained across tiles is bit-identical to the scalar loop
+// in mat.Dot. SSE2 is the amd64 baseline; no CPU feature detection is
+// required.
+
+#include "textflag.h"
+
+// func dotPacked8(row, packed []float64, out *[8]float64)
+TEXT ·dotPacked8(SB), NOSPLIT, $0-56
+	MOVQ row_base+0(FP), SI
+	MOVQ row_len+8(FP), CX
+	MOVQ packed_base+24(FP), DI
+	MOVQ out+48(FP), DX
+
+	// Running lane accumulators: X0 = lanes 0,1 ... X3 = lanes 6,7.
+	MOVUPS (DX), X0
+	MOVUPS 16(DX), X1
+	MOVUPS 32(DX), X2
+	MOVUPS 48(DX), X3
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	// Broadcast row[i] into both halves of X4.
+	MOVSD    (SI), X4
+	UNPCKLPD X4, X4
+
+	MOVUPS (DI), X5
+	MULPD  X4, X5
+	ADDPD  X5, X0
+	MOVUPS 16(DI), X6
+	MULPD  X4, X6
+	ADDPD  X6, X1
+	MOVUPS 32(DI), X7
+	MULPD  X4, X7
+	ADDPD  X7, X2
+	MOVUPS 48(DI), X8
+	MULPD  X4, X8
+	ADDPD  X8, X3
+
+	ADDQ $8, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	MOVUPS X0, (DX)
+	MOVUPS X1, 16(DX)
+	MOVUPS X2, 32(DX)
+	MOVUPS X3, 48(DX)
+	RET

@@ -1,0 +1,28 @@
+//go:build !amd64
+
+package score
+
+// dotPacked8 accumulates eight dot products against one panel-row tile
+// over a column-major packed block: out[k] += Σ_i row[i]·packed[i*8+k].
+// Pure-Go fallback for non-amd64 targets; the eight independent
+// accumulators each sum in ascending index order, so chaining them
+// across tiles stays bit-identical to mat.Dot.
+//
+//mhm:hotpath
+func dotPacked8(row, packed []float64, out *[8]float64) {
+	s0, s1, s2, s3 := out[0], out[1], out[2], out[3]
+	s4, s5, s6, s7 := out[4], out[5], out[6], out[7]
+	for i, x := range row {
+		p := packed[i*8 : i*8+8]
+		s0 += x * p[0]
+		s1 += x * p[1]
+		s2 += x * p[2]
+		s3 += x * p[3]
+		s4 += x * p[4]
+		s5 += x * p[5]
+		s6 += x * p[6]
+		s7 += x * p[7]
+	}
+	out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+	out[4], out[5], out[6], out[7] = s4, s5, s6, s7
+}

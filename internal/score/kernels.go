@@ -1,0 +1,117 @@
+// The fused scoring kernels. Everything here is annotated //mhm:hotpath
+// and enforced allocation-free by mhmlint: no allocating builtins, no
+// fmt, no closures, no calls into unannotated module code. Callers own
+// all storage; slices passed in are presized by the Scorer.
+package score
+
+import "math"
+
+// projectInto computes the eigenmemory projection w = uᵀv − uᵀΨ as L'
+// sweeps over the contiguous panel. Accumulation order matches mat.Dot,
+// so results are bit-identical to pca.Model.Project.
+//
+//mhm:hotpath
+func (e *Engine) projectInto(w, v []float64) {
+	for j := 0; j < e.lp; j++ {
+		row := e.panel[j*e.l : (j+1)*e.l]
+		s := 0.0
+		for i, x := range row {
+			s += x * v[i]
+		}
+		w[j] = s - e.meanOff[j]
+	}
+}
+
+// tileI is the i-dimension cache tile of the batch projection: 8 lanes
+// × 256 doubles × 8 bytes = 16 KiB, comfortably inside L1d, so a packed
+// tile written once is still resident while all L' panel rows sweep it.
+const tileI = 256
+
+// projectBatchInto projects B vectors into wb (row b = reduced vector
+// b). Full blocks of eight vectors run through a packed, L1-tiled
+// panel product: each i-tile is transposed column-major into pk
+// (pk[i*8+k] = vecs[b+k][lo+i]) exactly once, then every panel row
+// accumulates its partial dots over the resident tile via dotPacked8 —
+// on amd64 an SSE2 kernel where each vector owns one SIMD lane, so a
+// MULPD/ADDPD pair retires two mul-adds. Per-row, per-lane accumulators
+// in acc chain across tiles in ascending i, so every lane still sums in
+// mat.Dot index order and each reduced vector is bit-identical to the
+// single-vector path. The remainder block falls back to projectInto.
+//
+//mhm:hotpath
+func (e *Engine) projectBatchInto(wb, pk, acc []float64, vecs [][]float64) {
+	l, lp := e.l, e.lp
+	b := 0
+	for ; b+8 <= len(vecs); b += 8 {
+		acc := acc[:lp*8]
+		for x := range acc {
+			acc[x] = 0
+		}
+		for lo := 0; lo < l; lo += tileI {
+			hi := lo + tileI
+			if hi > l {
+				hi = l
+			}
+			n := hi - lo
+			for k := 0; k < 8; k++ {
+				v := vecs[b+k][lo:hi]
+				for i, x := range v {
+					pk[i*8+k] = x
+				}
+			}
+			for j := 0; j < lp; j++ {
+				dotPacked8(e.panel[j*l+lo:j*l+hi], pk[:n*8], (*[8]float64)(acc[j*8:j*8+8]))
+			}
+		}
+		for j := 0; j < lp; j++ {
+			off := e.meanOff[j]
+			for k := 0; k < 8; k++ {
+				wb[(b+k)*lp+j] = acc[j*8+k] - off
+			}
+		}
+	}
+	for ; b < len(vecs); b++ {
+		e.projectInto(wb[b*lp:(b+1)*lp], vecs[b])
+	}
+}
+
+// mixKernel evaluates the mixture log density of a reduced vector w:
+// per component, a fused mean-offset + forward substitution through the
+// flattened Cholesky factor gives the squared Mahalanobis distance, and
+// the per-component log terms close with a log-sum-exp. Operation order
+// matches gmm.Model.LogProb exactly (including the skip of non-positive
+// weights at construction), so the result is bit-identical.
+//
+//mhm:hotpath
+func (e *Engine) mixKernel(w, y, terms []float64) float64 {
+	lp := e.lp
+	best := math.Inf(-1)
+	for ci := range e.comps {
+		c := &e.comps[ci]
+		// Forward substitution L y = (w − µ), accumulating m2 = yᵀy.
+		m2 := 0.0
+		for i := 0; i < lp; i++ {
+			s := w[i] - c.mean[i]
+			li := c.chol[i*lp : (i+1)*lp]
+			for k := 0; k < i; k++ {
+				s -= li[k] * y[k]
+			}
+			yi := s / li[i]
+			y[i] = yi
+			m2 += yi * yi
+		}
+		t := c.logW - 0.5*(c.base+m2)
+		terms[ci] = t
+		if t > best {
+			best = t
+		}
+	}
+	if len(e.comps) == 0 || math.IsInf(best, -1) {
+		return math.Inf(-1)
+	}
+	sum := 0.0
+	for _, t := range terms[:len(e.comps)] {
+		sum += math.Exp(t - best)
+	}
+	return best + math.Log(sum)
+}

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Benchmark the scoring engine and record a machine-readable baseline.
+#
+# Runs the three scoring-path benchmarks (single-vector analysis loop,
+# batched ScoreBatch at B=64, sharded multi-stream pipeline) several
+# times, takes the median ns/op of each, and writes BENCH_scoring.json
+# at the repo root with the derived batch-vs-single and sharded-vs-single
+# speedups. The acceptance bar tracked by this file: batch_speedup >= 2.
+#
+# Usage: scripts/bench.sh [count] [benchtime]
+#   count     repetitions per benchmark for the median (default 3)
+#   benchtime go test -benchtime value (default 2s; use 10x for a smoke run)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-3}"
+BENCHTIME="${2:-2s}"
+OUT="BENCH_scoring.json"
+
+RAW="$(go test -run '^$' \
+  -bench 'AnalysisTime_L1472_Lp9_J5$|ScoreBatch$|ShardedPipeline$' \
+  -benchmem -benchtime="$BENCHTIME" -count="$COUNT" .)"
+
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    ns[name] = ns[name] " " $3
+    allocs[name] = $7                  # identical across reps (pinned to 0)
+    n[name]++
+}
+function median(list, cnt,    arr, i, j, tmp, m) {
+    m = split(list, arr, " ")
+    for (i = 1; i < m; i++)
+        for (j = i + 1; j <= m; j++)
+            if (arr[j] + 0 < arr[i] + 0) { tmp = arr[i]; arr[i] = arr[j]; arr[j] = tmp }
+    if (m % 2) return arr[(m + 1) / 2] + 0
+    return (arr[m / 2] + arr[m / 2 + 1]) / 2
+}
+function field(key, bench,    v) {
+    if (!(bench in ns)) { printf "bench.sh: missing benchmark %s\n", bench > "/dev/stderr"; exit 1 }
+    v = median(ns[bench], n[bench])
+    printf "  \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %d},\n", key, v, allocs[bench] + 0 >> out
+    return v
+}
+END {
+    printf "{\n" > out
+    single  = field("single",  "AnalysisTime_L1472_Lp9_J5")
+    batch   = field("batch64", "ScoreBatch")
+    sharded = field("sharded", "ShardedPipeline")
+    printf "  \"batch_speedup\": %.2f,\n", single / batch >> out
+    printf "  \"sharded_speedup\": %.2f\n", single / sharded >> out
+    printf "}\n" >> out
+    if (single / batch < 2.0) {
+        printf "bench.sh: batch speedup %.2fx below the 2x bar\n", single / batch > "/dev/stderr"
+        exit 1
+    }
+}
+'
+
+echo
+echo "wrote $OUT:"
+cat "$OUT"
