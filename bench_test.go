@@ -6,7 +6,9 @@
 package mhm_test
 
 import (
+	"bytes"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -19,6 +21,7 @@ import (
 	"github.com/memheatmap/mhm/internal/obs"
 	"github.com/memheatmap/mhm/internal/pca"
 	"github.com/memheatmap/mhm/internal/pipeline"
+	"github.com/memheatmap/mhm/internal/trace"
 	"github.com/memheatmap/mhm/internal/workload"
 )
 
@@ -390,5 +393,152 @@ func BenchmarkWorkloadJobGeneration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		task.Behavior.NewJob(int64(i), rng)
+	}
+}
+
+// Training-engine fixtures: fixed train/calib map sets at quick scale
+// (L = 1472 like the paper; 3 x 1 s of captures).
+var (
+	trnOnce sync.Once
+	trnErr  error
+	trnSet  []*heatmap.HeatMap
+	trnCal  []*heatmap.HeatMap
+)
+
+func trainFixtures(b *testing.B) {
+	b.Helper()
+	fixtures(b)
+	trnOnce.Do(func() {
+		for run := 0; run < 3; run++ {
+			maps, err := fixLab.CollectNormal(int64(7000+run), 1_000_000)
+			if err != nil {
+				trnErr = err
+				return
+			}
+			trnSet = append(trnSet, maps...)
+		}
+		trnCal, trnErr = fixLab.CollectNormal(7100, 1_000_000)
+	})
+	if trnErr != nil {
+		b.Fatal(trnErr)
+	}
+}
+
+// benchCoreTrain times the full §5.2 model build (PCA, batch
+// projection, J=5 GMM with the paper's 10 restarts, calibration) on
+// prebuilt maps, excluding the simulation.
+func benchCoreTrain(b *testing.B, workers int, parallel bool) {
+	trainFixtures(b)
+	cfg := core.Config{
+		PCA:     pca.Options{Components: 9, Parallel: parallel},
+		GMM:     gmm.Options{Components: 5, Restarts: 10, Parallel: parallel, Seed: 1},
+		Workers: workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(trnSet, trnCal, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreTrainSerial is the training engine's single-worker
+// baseline: every stage serial.
+func BenchmarkCoreTrainSerial(b *testing.B) { benchCoreTrain(b, 1, false) }
+
+// BenchmarkCoreTrainParallel runs the identical (bit-identical) build
+// with the engine fanned out over GOMAXPROCS workers and parallel
+// restarts.
+func BenchmarkCoreTrainParallel(b *testing.B) { benchCoreTrain(b, runtime.GOMAXPROCS(0), true) }
+
+// benchPCATrain times the eigenmemory stage (tiled mean/Φ/variance
+// build + subspace iteration) alone.
+func benchPCATrain(b *testing.B, workers int, parallel bool) {
+	trainFixtures(b)
+	vecs, err := heatmap.PackVectors(trnSet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pca.Train(vecs, pca.Options{Components: 9, Workers: workers, Parallel: parallel}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPCATrain is the serial eigenmemory stage.
+func BenchmarkPCATrain(b *testing.B) { benchPCATrain(b, 1, false) }
+
+// BenchmarkPCATrainParallel is the same stage over GOMAXPROCS workers.
+func BenchmarkPCATrainParallel(b *testing.B) { benchPCATrain(b, runtime.GOMAXPROCS(0), true) }
+
+// Serialized trace fixture for the ingest benchmarks.
+var (
+	rawTraceOnce sync.Once
+	rawTrace     []byte
+	rawTraceN    int
+)
+
+func traceFixture(b *testing.B) {
+	b.Helper()
+	rawTraceOnce.Do(func() {
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		rng := rand.New(rand.NewSource(1))
+		const n = 200_000
+		for i := 0; i < n; i++ {
+			_ = w.Write(trace.Access{
+				Time:  int64(i),
+				Addr:  kernelmap.TextBase + uint64(rng.Intn(1<<21)),
+				Count: uint32(1 + rng.Intn(8)),
+			})
+		}
+		_ = w.Flush()
+		rawTrace = buf.Bytes()
+		rawTraceN = n
+	})
+}
+
+// BenchmarkTraceReadRecord decodes a 200k-event capture one record at a
+// time; ns/op is per event.
+func BenchmarkTraceReadRecord(b *testing.B) {
+	traceFixture(b)
+	b.ResetTimer()
+	for done := 0; done < b.N; done += rawTraceN {
+		r := trace.NewReader(bytes.NewReader(rawTrace))
+		n := 0
+		for {
+			if _, err := r.Read(); err != nil {
+				break
+			}
+			n++
+		}
+		if n != rawTraceN {
+			b.Fatalf("decoded %d events, want %d", n, rawTraceN)
+		}
+	}
+}
+
+// BenchmarkTraceReadBatch decodes the same capture through ReadBatch
+// blocks of 256; ns/op is per event, directly comparable to
+// BenchmarkTraceReadRecord.
+func BenchmarkTraceReadBatch(b *testing.B) {
+	traceFixture(b)
+	dst := make([]trace.Access, 256)
+	b.ResetTimer()
+	for done := 0; done < b.N; done += rawTraceN {
+		r := trace.NewReader(bytes.NewReader(rawTrace))
+		n := 0
+		for {
+			k, err := r.ReadBatch(dst)
+			n += k
+			if err != nil {
+				break
+			}
+		}
+		if n != rawTraceN {
+			b.Fatalf("decoded %d events, want %d", n, rawTraceN)
+		}
 	}
 }

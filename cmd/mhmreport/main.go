@@ -111,8 +111,15 @@ func run(exp, scaleName string, seed int64) error {
 			return nil
 		}},
 		{"training", func() error {
-			_, err := detector()
-			return err
+			if _, err := detector(); err != nil {
+				return err
+			}
+			r, err := lab.TrainingThroughput(9300, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			return nil
 		}},
 		{"fig6", func() error {
 			r, err := lab.Fig6(300)

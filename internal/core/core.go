@@ -17,6 +17,7 @@ import (
 	"github.com/memheatmap/mhm/internal/obs"
 	"github.com/memheatmap/mhm/internal/pca"
 	"github.com/memheatmap/mhm/internal/stats"
+	"github.com/memheatmap/mhm/internal/train"
 )
 
 // Errors of the detector pipeline.
@@ -50,6 +51,12 @@ type Config struct {
 	// anomalies confined to cells with no training variance, which the
 	// projection alone cannot see. Empty disables the extension.
 	ResidualQuantiles []float64
+	// Workers bounds the goroutines the training engine uses in every
+	// stage — the PCA mean/Φ build, each EM restart, and the batch
+	// projection of training vectors. It seeds PCA.Workers and
+	// GMM.Workers when those are unset. Trained detectors are
+	// bit-identical for every worker count; zero means serial.
+	Workers int
 }
 
 func (c *Config) fill() error {
@@ -58,6 +65,14 @@ func (c *Config) fill() error {
 	}
 	if c.GMM.Restarts == 0 {
 		c.GMM.Restarts = 10
+	}
+	if c.Workers > 0 {
+		if c.PCA.Workers == 0 {
+			c.PCA.Workers = c.Workers
+		}
+		if c.GMM.Workers == 0 {
+			c.GMM.Workers = c.Workers
+		}
 	}
 	if len(c.Quantiles) == 0 {
 		c.Quantiles = []float64{0.005, 0.01}
@@ -122,29 +137,31 @@ func (d *Detector) Instrument(r *obs.Registry) {
 // Train learns a detector from a training set of normal MHMs and a
 // separate calibration set (also normal) used to place the θ_p
 // thresholds, mirroring the paper's two-phase §5.2 procedure.
-func Train(train, calib []*heatmap.HeatMap, cfg Config) (*Detector, error) {
+func Train(trainSet, calib []*heatmap.HeatMap, cfg Config) (*Detector, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	if len(train) < 2 {
-		return nil, fmt.Errorf("core: %d training MHMs: %w", len(train), ErrConfig)
+	if len(trainSet) < 2 {
+		return nil, fmt.Errorf("core: %d training MHMs: %w", len(trainSet), ErrConfig)
 	}
 	if len(calib) == 0 {
 		return nil, fmt.Errorf("core: empty calibration set: %w", ErrConfig)
 	}
-	region := train[0].Def
-	vectors := make([][]float64, len(train))
-	for i, m := range train {
+	region := trainSet[0].Def
+	for i, m := range trainSet {
 		if m.Def != region {
 			return nil, fmt.Errorf("core: training MHM %d: %w", i, ErrRegionMismatch)
 		}
-		vectors[i] = m.Vector()
+	}
+	vectors, err := heatmap.PackVectors(trainSet)
+	if err != nil {
+		return nil, fmt.Errorf("core: training set: %w", err)
 	}
 	pcaModel, err := pca.Train(vectors, cfg.PCA)
 	if err != nil {
 		return nil, fmt.Errorf("core: eigenmemory training: %w", err)
 	}
-	reduced, err := pcaModel.ProjectAll(vectors)
+	reduced, err := projectAll(pcaModel, vectors, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -158,12 +175,14 @@ func Train(train, calib []*heatmap.HeatMap, cfg Config) (*Detector, error) {
 
 	// Calibrate thresholds on the held-out normal set, batched through
 	// the fused engine.
-	calibVecs := make([][]float64, len(calib))
 	for i, m := range calib {
 		if m.Def != region {
 			return nil, fmt.Errorf("core: calibration MHM %d: %w", i, ErrRegionMismatch)
 		}
-		calibVecs[i] = m.Vector()
+	}
+	calibVecs, err := heatmap.PackVectors(calib)
+	if err != nil {
+		return nil, fmt.Errorf("core: calibration set: %w", err)
 	}
 	densities := make([]float64, len(calib))
 	if err := d.scoreVectors(densities, calibVecs); err != nil {
@@ -199,6 +218,37 @@ func Train(train, calib []*heatmap.HeatMap, cfg Config) (*Detector, error) {
 		})
 	}
 	return d, nil
+}
+
+// projChunk is the work unit of the batch projection: vectors per
+// training-engine chunk.
+const projChunk = 16
+
+// projectAll projects the training vectors into eigenmemory weights —
+// pca.Model.ProjectAll with a single contiguous result backing and the
+// chunks spread over the engine's workers. Each vector's projection is
+// independent, so the result is identical for every worker count.
+func projectAll(m *pca.Model, vectors [][]float64, workers int) ([][]float64, error) {
+	_, lp := m.Dim()
+	flat := make([]float64, len(vectors)*lp)
+	out := make([][]float64, len(vectors))
+	errs := make([]error, train.ChunkCount(len(vectors), projChunk))
+	train.Chunks(len(vectors), projChunk, workers, func(lo, hi, idx int) {
+		for i := lo; i < hi; i++ {
+			w := flat[i*lp : (i+1)*lp : (i+1)*lp]
+			if err := m.ProjectInto(w, vectors[i]); err != nil {
+				errs[idx] = fmt.Errorf("core: projecting MHM %d: %w", i, err)
+				return
+			}
+			out[i] = w
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Residual returns the MHM's reconstruction RMS error — its distance

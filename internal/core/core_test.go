@@ -278,3 +278,59 @@ func TestClassifySeriesVerdictFields(t *testing.T) {
 		t.Errorf("verdict thresholds = %v", v.Anomalous)
 	}
 }
+
+// TestTrainWorkersBitIdentical pins the training engine's determinism
+// contract end to end at the detector level: PCA build, batch
+// projection, every EM restart and the threshold calibration must all
+// yield the same detector bit for bit at every worker count.
+func TestTrainWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var trainSet, calib []*heatmap.HeatMap
+	for i := 0; i < 120; i++ {
+		trainSet = append(trainSet, patternMap(rng, i))
+	}
+	for i := 0; i < 60; i++ {
+		calib = append(calib, patternMap(rng, i))
+	}
+	cfg := Config{
+		PCA: pca.Options{Components: 4},
+		GMM: gmm.Options{Components: 3, Restarts: 3},
+	}
+	base, err := Train(trainSet, calib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		for _, parallel := range []bool{false, true} {
+			c := cfg
+			c.Workers = workers
+			c.GMM.Parallel = parallel
+			d, err := Train(trainSet, calib, c)
+			if err != nil {
+				t.Fatalf("workers=%d parallel=%v: %v", workers, parallel, err)
+			}
+			if len(d.Thresholds) != len(base.Thresholds) {
+				t.Fatalf("workers=%d: threshold counts differ", workers)
+			}
+			for i, th := range base.Thresholds {
+				if math.Float64bits(d.Thresholds[i].Theta) != math.Float64bits(th.Theta) {
+					t.Fatalf("workers=%d parallel=%v: θ_%g = %v, want %v",
+						workers, parallel, th.P, d.Thresholds[i].Theta, th.Theta)
+				}
+			}
+			// Scores on fresh maps must agree bit for bit too.
+			probe := patternMap(rng, 1)
+			want, err := base.LogDensity(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.LogDensity(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("workers=%d parallel=%v: log density %v, want %v", workers, parallel, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTrainingThroughputShape checks the A12 experiment's structure:
+// four stages with serial/baseline-first row pairs, the determinism
+// verdicts, and a renderable table. Timing magnitudes are
+// hardware-dependent and asserted only by the benchmark baseline.
+func TestTrainingThroughputShape(t *testing.T) {
+	lab, _, _ := quickLab(t)
+	r, err := lab.TrainingThroughput(5200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(r.Rows))
+	}
+	wantRows := []struct{ stage, mode string }{
+		{"core.Train", "serial"}, {"core.Train", "parallel"},
+		{"pca.Train", "serial"}, {"pca.Train", "parallel"},
+		{"gmm.Train", "serial"}, {"gmm.Train", "parallel"},
+		{"ingest", "per-record"}, {"ingest", "batch"},
+	}
+	for i, row := range r.Rows {
+		if row.Stage != wantRows[i].stage || row.Mode != wantRows[i].mode {
+			t.Errorf("row %d = (%q, %q), want (%q, %q)", i, row.Stage, row.Mode, wantRows[i].stage, wantRows[i].mode)
+		}
+		if row.Millis <= 0 || row.Speedup <= 0 {
+			t.Errorf("row (%q, %q): millis %v, speedup %v", row.Stage, row.Mode, row.Millis, row.Speedup)
+		}
+	}
+	if !r.BitIdentical {
+		t.Error("serial and parallel training (or the two ingest paths) diverged")
+	}
+	if r.L != 1472 || r.J != 5 {
+		t.Errorf("shape L=%d J=%d, want L=1472 J=5", r.L, r.J)
+	}
+	if r.TrainMaps <= 0 || r.TraceEvents == 0 {
+		t.Errorf("training volume: %d maps, %d trace events", r.TrainMaps, r.TraceEvents)
+	}
+	out := r.String()
+	for _, want := range []string{"A12", "core.Train", "pca.Train", "gmm.Train", "ingest", "bit-identical: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"github.com/memheatmap/mhm/internal/mat"
+	"github.com/memheatmap/mhm/internal/train"
 )
 
 // ErrTraining wraps invalid training inputs or EM failures.
@@ -149,6 +150,12 @@ type Options struct {
 	// identical to the serial run: each restart derives its own RNG from
 	// (Seed, restart index).
 	Parallel bool
+	// Workers bounds the goroutines the training engine uses inside each
+	// restart (blocked E-step sample chunks, per-component M-step).
+	// Values below 1 mean serial. Fits are bit-identical for every
+	// worker count, so Workers trades only wall-clock; combine with
+	// Parallel when Restarts alone cannot saturate the machine.
+	Workers int
 }
 
 func (o *Options) fill() error {
@@ -211,7 +218,7 @@ func Train(data [][]float64, opts Options) (*Model, error) {
 	attempts := make([]attempt, opts.Restarts)
 	runOne := func(r int) {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(r)*0x9E3779B9))
-		m, ll, err := emOnce(data, opts.Components, opts.MaxIter, opts.Tol, reg, rng)
+		m, ll, err := emOnce(data, opts.Components, opts.MaxIter, opts.Tol, reg, opts.Workers, rng)
 		attempts[r] = attempt{m: m, ll: ll, err: err}
 	}
 	if opts.Parallel {
@@ -349,121 +356,51 @@ func kmeansSeed(data [][]float64, k int, rng *rand.Rand) [][]float64 {
 	return means
 }
 
-// emOnce runs one EM fit from a fresh initialization.
-func emOnce(data [][]float64, k, maxIter int, tol, reg float64, rng *rand.Rand) (*Model, float64, error) {
-	n := len(data)
+// emOnce runs one EM fit from a fresh initialization through the
+// internal/train engine: k-means++ seeding here, then the blocked
+// E-step / per-component M-step loop with all scratch preallocated once
+// for the restart. The fit is bit-identical to the historical staged
+// loop (which evaluated every component density twice per sample — see
+// the regression test), except when a dead component is re-seeded: the
+// engine picks the worst-modeled sample from the E-step's own
+// log-likelihoods instead of rescanning against a half-updated model.
+func emOnce(data [][]float64, k, maxIter int, tol, reg float64, workers int, rng *rand.Rand) (*Model, float64, error) {
 	d := len(data[0])
 	means := kmeansSeed(data, k, rng)
 
-	model := &Model{Components: make([]Component, k)}
 	// Initial covariances: shared spherical from overall variance.
 	v := dataVariance(data)
 	if v <= 0 {
 		v = 1
 	}
-	for j := range model.Components {
+	fit, err := train.EMFit(data, means, train.EMConfig{
+		K:       k,
+		MaxIter: maxIter,
+		Tol:     tol,
+		Reg:     reg,
+		InitVar: v,
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("gmm: component covariance: %w", err)
+	}
+
+	model := &Model{Components: make([]Component, k)}
+	for j := 0; j < k; j++ {
 		cov := mat.New(d, d)
-		for i := 0; i < d; i++ {
-			cov.Set(i, i, v+reg)
+		for a := 0; a < d; a++ {
+			copy(cov.Row(a), fit.Covs[j*d*d+a*d:j*d*d+(a+1)*d])
 		}
 		model.Components[j] = Component{
-			Weight: 1 / float64(k),
-			Mean:   means[j],
+			Weight: fit.Weights[j],
+			Mean:   append([]float64(nil), fit.Means[j*d:(j+1)*d]...),
 			Cov:    cov,
 		}
 		if err := model.Components[j].prepare(); err != nil {
 			return nil, 0, err
 		}
 	}
-
-	resp := make([][]float64, n)
-	prevLL := math.Inf(-1)
-	for iter := 0; iter < maxIter; iter++ {
-		// E-step.
-		ll := 0.0
-		for i, x := range data {
-			r, err := model.Responsibilities(x)
-			if err != nil {
-				return nil, 0, err
-			}
-			resp[i] = r
-			lp, err := model.LogProb(x)
-			if err != nil {
-				return nil, 0, err
-			}
-			ll += lp
-		}
-		if iter > 0 && ll-prevLL < tol {
-			prevLL = ll
-			break
-		}
-		prevLL = ll
-
-		// M-step.
-		for j := 0; j < k; j++ {
-			nj := 0.0
-			for i := range data {
-				nj += resp[i][j]
-			}
-			if nj < 1e-10 {
-				// Dead component: re-seed on the worst-modeled point.
-				worstI, worstLP := 0, math.Inf(1)
-				for i, x := range data {
-					lp, err := model.LogProb(x)
-					if err != nil {
-						return nil, 0, err
-					}
-					if lp < worstLP {
-						worstI, worstLP = i, lp
-					}
-				}
-				copy(model.Components[j].Mean, data[worstI])
-				model.Components[j].Weight = 1 / float64(n)
-				continue
-			}
-			c := &model.Components[j]
-			c.Weight = nj / float64(n)
-			for cdim := range c.Mean {
-				c.Mean[cdim] = 0
-			}
-			for i, x := range data {
-				w := resp[i][j]
-				for cdim, v := range x {
-					c.Mean[cdim] += w * v
-				}
-			}
-			for cdim := range c.Mean {
-				c.Mean[cdim] /= nj
-			}
-			cov := mat.New(d, d)
-			diff := make([]float64, d)
-			for i, x := range data {
-				w := resp[i][j]
-				if mat.IsZero(w) {
-					continue
-				}
-				for cdim := range x {
-					diff[cdim] = x[cdim] - c.Mean[cdim]
-				}
-				for a := 0; a < d; a++ {
-					wa := w * diff[a]
-					row := cov.Row(a)
-					for b := 0; b < d; b++ {
-						row[b] += wa * diff[b]
-					}
-				}
-			}
-			cov.Scale(1 / nj)
-			for a := 0; a < d; a++ {
-				cov.Set(a, a, cov.At(a, a)+reg)
-			}
-			c.Cov = cov
-			if err := c.prepare(); err != nil {
-				return nil, 0, err
-			}
-		}
-	}
-	return model, prevLL, nil
+	return model, fit.LogLikelihood, nil
 }
 
 // componentJSON serializes one Gaussian.

@@ -213,6 +213,29 @@ func (h *HeatMap) VectorInto(dst []float64) {
 	}
 }
 
+// PackVectors widens a set of equally-defined heat maps into float64
+// vectors sharing one contiguous backing array — the layout the
+// training engine wants: one allocation for the whole set, and
+// cache-friendly sequential sweeps over consecutive maps.
+func PackVectors(maps []*HeatMap) ([][]float64, error) {
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("heatmap: PackVectors: empty set: %w", ErrConfig)
+	}
+	def := maps[0].Def
+	l := len(maps[0].Counts)
+	backing := make([]float64, len(maps)*l)
+	out := make([][]float64, len(maps))
+	for i, m := range maps {
+		if m.Def != def {
+			return nil, fmt.Errorf("heatmap: PackVectors: map %d definition differs: %w", i, ErrConfig)
+		}
+		v := backing[i*l : (i+1)*l : (i+1)*l]
+		m.VectorInto(v)
+		out[i] = v
+	}
+	return out, nil
+}
+
 // L1Distance returns the sum of absolute per-cell count differences.
 func (h *HeatMap) L1Distance(o *HeatMap) (uint64, error) {
 	if h.Def != o.Def {

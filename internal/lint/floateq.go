@@ -1,5 +1,5 @@
 // The floateq analyzer bans exact ==/!= comparison of floating-point
-// operands in the numeric packages (gmm, pca, stats, score): EM
+// operands in the numeric packages (gmm, pca, stats, score, train): EM
 // convergence, eigenvalue selection, quantile math and the fused
 // scoring kernels must compare through the tolerance helpers in
 // internal/mat (mat.IsZero, mat.Eq, mat.EqTol), which spell out the
@@ -15,13 +15,13 @@ import (
 
 // FloatEqScope lists the import-path suffixes (whole trailing segments)
 // the floateq analyzer applies to.
-var FloatEqScope = []string{"gmm", "pca", "stats", "score"}
+var FloatEqScope = []string{"gmm", "pca", "stats", "score", "train"}
 
 // FloatEqAnalyzer returns the floateq analyzer.
 func FloatEqAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "floateq",
-		Doc:  "no ==/!= between floating-point operands in gmm/pca/stats/score; use mat epsilon helpers",
+		Doc:  "no ==/!= between floating-point operands in gmm/pca/stats/score/train; use mat epsilon helpers",
 		Run:  floateqRun,
 	}
 }

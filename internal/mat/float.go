@@ -16,6 +16,8 @@ const DefaultTol = 1e-9
 // IsZero reports whether x is exactly zero (either sign). Use it where
 // zero is a sentinel or an exact algebraic case — unset options,
 // skip-zero-weight loops — not where accumulated round-off is possible.
+//
+//mhm:hotpath
 func IsZero(x float64) bool {
 	return x == 0
 }

@@ -34,14 +34,22 @@ func (d DenseOp) Apply(dst, src []float64) {
 // GramOp applies C = (1/N) A Aᵀ where A is n x N, without forming C.
 // This is the eigenfaces covariance trick: for MHM training sets A holds
 // the mean-shifted heat maps as columns. Apply is safe for concurrent
-// use (each call owns its scratch).
+// use (scratch vectors come from an internal pool, so concurrent calls
+// each check one out and steady-state iteration does not allocate).
 type GramOp struct {
-	A *Matrix // n x N
+	A       *Matrix // n x N
+	scratch sync.Pool
 }
 
 // NewGramOp wraps the n x N matrix a.
 func NewGramOp(a *Matrix) *GramOp {
-	return &GramOp{A: a}
+	g := &GramOp{A: a}
+	cols := a.Cols()
+	g.scratch.New = func() any {
+		s := make([]float64, cols)
+		return &s
+	}
+	return g
 }
 
 // Dim returns n, the row dimension of A.
@@ -51,7 +59,12 @@ func (g *GramOp) Dim() int { return g.A.Rows() }
 func (g *GramOp) Apply(dst, src []float64) {
 	n := g.A.Rows()
 	cols := g.A.Cols()
-	t := make([]float64, cols)
+	tp := g.scratch.Get().(*[]float64)
+	defer g.scratch.Put(tp)
+	t := *tp
+	for j := range t {
+		t[j] = 0
+	}
 	// t = Aᵀ src
 	for i := 0; i < n; i++ {
 		si := src[i]

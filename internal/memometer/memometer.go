@@ -12,6 +12,7 @@ import (
 
 	"github.com/memheatmap/mhm/internal/heatmap"
 	"github.com/memheatmap/mhm/internal/obs"
+	"github.com/memheatmap/mhm/internal/trace"
 )
 
 // Default hardware sizing from the paper's prototype: two 8 KB on-chip
@@ -245,6 +246,28 @@ func (d *Device) SnoopBurst(t int64, addr uint64, count uint32) error {
 		d.met.acceptedAccesses.Add(uint64(count))
 	}
 	return nil
+}
+
+// SnoopBatch observes a time-ordered batch of bus events, the ingest
+// unit of the batched trace path (trace.Reader.ReadBatch). It stops as
+// soon as an event completes an MHM — before the following event is
+// fed — so the caller can Collect the pending map and resubmit the
+// remainder, preserving the drain-as-you-go overrun semantics of
+// per-event feeding. It returns the number of events consumed; on error
+// the failing event is not counted.
+//
+//mhm:hotpath
+func (d *Device) SnoopBatch(events []trace.Access) (int, error) {
+	for i := range events {
+		a := &events[i]
+		if err := d.SnoopBurst(a.Time, a.Addr, a.Count); err != nil {
+			return i, err
+		}
+		if d.pending != nil {
+			return i + 1, nil
+		}
+	}
+	return len(events), nil
 }
 
 // HasPending reports whether a completed MHM awaits collection.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/trace"
 )
 
 func testCfg() Config {
@@ -303,5 +304,94 @@ func TestRunPropagatesCollectError(t *testing.T) {
 	)
 	if !errors.Is(err, sentinel) {
 		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+// TestSnoopBatchEquivalentToPerEvent pins the batched ingest contract:
+// feeding a time-ordered stream through SnoopBatch with collect-at-stop
+// resubmission produces the same maps and stats as per-event SnoopBurst
+// with drain-after-every-event, and SnoopBatch pauses exactly at the
+// event that completes an MHM.
+func TestSnoopBatchEquivalentToPerEvent(t *testing.T) {
+	// 3.5 intervals of traffic: boundaries inside and between batches.
+	var events []trace.Access
+	for i := int64(0); i < 35; i++ {
+		events = append(events, trace.Access{
+			Time:  i * 100, // one event per 100 µs, interval 1000 µs
+			Addr:  0x1000 + uint64(i%16)*0x100,
+			Count: uint32(1 + i%3),
+		})
+	}
+
+	ref := mustDevice(t)
+	var refMaps []*heatmap.HeatMap
+	for _, a := range events {
+		if err := ref.SnoopBurst(a.Time, a.Addr, a.Count); err != nil {
+			t.Fatal(err)
+		}
+		for ref.HasPending() {
+			m, err := ref.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refMaps = append(refMaps, m)
+		}
+	}
+
+	dev := mustDevice(t)
+	var maps []*heatmap.HeatMap
+	for off := 0; off < len(events); {
+		c, err := dev.SnoopBatch(events[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == 0 {
+			t.Fatal("SnoopBatch made no progress")
+		}
+		off += c
+		if off < len(events) && !dev.HasPending() {
+			t.Fatalf("SnoopBatch stopped at %d without a pending MHM", off)
+		}
+		for dev.HasPending() {
+			m, err := dev.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			maps = append(maps, m)
+		}
+	}
+
+	if len(maps) != len(refMaps) {
+		t.Fatalf("batched path produced %d maps, per-event %d", len(maps), len(refMaps))
+	}
+	for i := range refMaps {
+		d, err := maps[i].L1Distance(refMaps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Errorf("interval %d differs between batched and per-event ingest (L1=%d)", i, d)
+		}
+	}
+	if dev.Stats() != ref.Stats() {
+		t.Errorf("stats diverge: batched %+v, per-event %+v", dev.Stats(), ref.Stats())
+	}
+}
+
+// TestSnoopBatchPropagatesErrors checks the consumed-count contract on
+// a malformed (time-reversed) stream.
+func TestSnoopBatchPropagatesErrors(t *testing.T) {
+	dev := mustDevice(t)
+	events := []trace.Access{
+		{Time: 100, Addr: 0x1000, Count: 1},
+		{Time: 50, Addr: 0x1000, Count: 1}, // time goes backwards
+		{Time: 200, Addr: 0x1000, Count: 1},
+	}
+	n, err := dev.SnoopBatch(events)
+	if err == nil {
+		t.Fatal("time-reversed batch accepted")
+	}
+	if n != 1 {
+		t.Fatalf("consumed %d events before the error, want 1", n)
 	}
 }

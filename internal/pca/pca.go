@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sync"
 
 	"github.com/memheatmap/mhm/internal/mat"
+	"github.com/memheatmap/mhm/internal/train"
 )
 
 // ErrTraining wraps invalid training inputs.
@@ -36,6 +38,11 @@ type Options struct {
 	// Parallel runs the subspace iteration's operator applications on
 	// separate goroutines; results are identical to the serial run.
 	Parallel bool
+	// Workers bounds the goroutines used for the mean/Φ/variance build
+	// (fixed dimension tiles merged in index order). Zero picks
+	// GOMAXPROCS when Parallel is set, else 1. Results are bit-identical
+	// for every worker count.
+	Workers int
 }
 
 func (o *Options) fill() error {
@@ -127,26 +134,16 @@ func Train(set [][]float64, opts Options) (*Model, error) {
 		maxK = rank
 	}
 
-	// Ψ = mean, Φ = mean-shifted columns.
-	mean := make([]float64, l)
-	for _, v := range set {
-		for i, x := range v {
-			mean[i] += x
+	// Ψ = mean, Φ = mean-shifted columns, via the training engine's
+	// tiled build (bit-identical for every worker count).
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+		if opts.Parallel {
+			workers = runtime.GOMAXPROCS(0)
 		}
 	}
-	for i := range mean {
-		mean[i] /= float64(n)
-	}
-	phi := mat.New(l, n)
-	totalVar := 0.0
-	for j, v := range set {
-		for i, x := range v {
-			d := x - mean[i]
-			phi.Set(i, j, d)
-			totalVar += d * d
-		}
-	}
-	totalVar /= float64(n)
+	mean, phi, totalVar := train.BuildCentered(set, workers)
 
 	eig, err := mat.EigenSymTopK(mat.NewGramOp(phi), maxK, mat.TopKOptions{Seed: opts.Seed, Parallel: opts.Parallel})
 	if err != nil {

@@ -272,3 +272,44 @@ func TestAutoSelectionCapsAtSampleCount(t *testing.T) {
 		t.Errorf("selected %d components from 5 samples", lp)
 	}
 }
+
+// TestTrainWorkersBitIdentical pins the training engine's determinism
+// contract at the pca level: the tiled mean/Φ/variance build yields the
+// same model bit for bit for every worker count, serial and parallel.
+func TestTrainWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	set, _ := syntheticSet(rng, 40, 700, 5, 0.05) // spans two dimension tiles
+	base, err := Train(set, Options{Components: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 9} {
+		for _, parallel := range []bool{false, true} {
+			m, err := Train(set, Options{Components: 5, Workers: workers, Parallel: parallel})
+			if err != nil {
+				t.Fatalf("workers=%d parallel=%v: %v", workers, parallel, err)
+			}
+			if math.Float64bits(m.TotalVariance) != math.Float64bits(base.TotalVariance) {
+				t.Fatalf("workers=%d parallel=%v: total variance %v, want %v", workers, parallel, m.TotalVariance, base.TotalVariance)
+			}
+			for i := range base.Mean {
+				if math.Float64bits(m.Mean[i]) != math.Float64bits(base.Mean[i]) {
+					t.Fatalf("workers=%d parallel=%v: mean[%d] differs", workers, parallel, i)
+				}
+			}
+			for i := range base.Values {
+				if math.Float64bits(m.Values[i]) != math.Float64bits(base.Values[i]) {
+					t.Fatalf("workers=%d parallel=%v: eigenvalue[%d] %v, want %v", workers, parallel, i, m.Values[i], base.Values[i])
+				}
+			}
+			l, lp := base.Dim()
+			for i := 0; i < l; i++ {
+				for j := 0; j < lp; j++ {
+					if math.Float64bits(m.Components.At(i, j)) != math.Float64bits(base.Components.At(i, j)) {
+						t.Fatalf("workers=%d parallel=%v: component [%d][%d] differs", workers, parallel, i, j)
+					}
+				}
+			}
+		}
+	}
+}

@@ -10,12 +10,23 @@ import (
 	"github.com/memheatmap/mhm/internal/trace"
 )
 
+// replayBatch is the ingest unit of Replay: enough records per
+// ReadBatch to amortize the decode, small enough that the decode buffer
+// stays cache-resident next to the device's on-chip counters.
+const replayBatch = 256
+
 // Replay feeds a captured bus trace (from Monitor.SetTraceWriter)
 // through a fresh Memometer configuration and returns the resulting heat
 // maps. This is how one capture supports many analyses: the same trace
 // can be cut at different granularities or intervals without re-running
 // the simulation. endTime closes the final interval (pass the original
 // run's horizon).
+//
+// Ingest is batched — trace.Reader.ReadBatch decodes a block of records
+// at a time and memometer.SnoopBatch feeds them, pausing at each
+// interval boundary so completed MHMs are collected before the next
+// event, exactly as the per-record loop did. The resulting maps are
+// identical to record-at-a-time replay.
 func Replay(r *trace.Reader, cfg memometer.Config, endTime int64) ([]*heatmap.HeatMap, error) {
 	dev := memometer.New()
 	if err := dev.Configure(cfg); err != nil {
@@ -32,19 +43,24 @@ func Replay(r *trace.Reader, cfg memometer.Config, endTime int64) ([]*heatmap.He
 		}
 		return nil
 	}
+	buf := make([]trace.Access, replayBatch)
 	for {
-		a, err := r.Read()
+		n, err := r.ReadBatch(buf)
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
 			return nil, fmt.Errorf("securecore: replay: %w", err)
 		}
-		if err := dev.SnoopBurst(a.Time, a.Addr, a.Count); err != nil {
-			return nil, fmt.Errorf("securecore: replay: %w", err)
-		}
-		if err := drain(); err != nil {
-			return nil, err
+		for off := 0; off < n; {
+			c, err := dev.SnoopBatch(buf[off:n])
+			off += c
+			if err != nil {
+				return nil, fmt.Errorf("securecore: replay: %w", err)
+			}
+			if err := drain(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := dev.Tick(endTime); err != nil {

@@ -187,3 +187,61 @@ func TestMultiSessionValidation(t *testing.T) {
 		t.Error("bad region accepted")
 	}
 }
+
+// replayPerRecord is the pre-batching replay loop, kept verbatim as the
+// equivalence reference for the batched ingest path.
+func replayPerRecord(t *testing.T, raw []byte, cfg memometer.Config, endTime int64) []*heatmap.HeatMap {
+	t.Helper()
+	dev := memometer.New()
+	if err := dev.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var maps []*heatmap.HeatMap
+	drain := func() {
+		for dev.HasPending() {
+			hm, err := dev.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			maps = append(maps, hm)
+		}
+	}
+	r := trace.NewReader(bytes.NewReader(raw))
+	for {
+		a, err := r.Read()
+		if err != nil {
+			break
+		}
+		if err := dev.SnoopBurst(a.Time, a.Addr, a.Count); err != nil {
+			t.Fatal(err)
+		}
+		drain()
+	}
+	if err := dev.Tick(endTime); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	return maps
+}
+
+func TestReplayBatchedMatchesPerRecord(t *testing.T) {
+	raw, direct := capturedSession(t, 2048, 100_000, 9)
+	cfg := memometer.Config{Region: direct[0].Def, IntervalMicros: 10_000}
+	want := replayPerRecord(t, raw, cfg, 100_000)
+	got, err := Replay(trace.NewReader(bytes.NewReader(raw)), cfg, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batched replay produced %d maps, per-record %d", len(got), len(want))
+	}
+	for i := range want {
+		d, err := got[i].L1Distance(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Errorf("interval %d differs between batched and per-record replay (L1=%d)", i, d)
+		}
+	}
+}

@@ -86,22 +86,59 @@ func FuzzTraceReader(f *testing.F) {
 		f.Add(valid[:n])
 	}
 	f.Add(valid[:len(valid)-1])
-	f.Add([]byte("MHMT")) // wrong byte order for the magic
+	f.Add(valid[:len(valid)-7]) // torn tail mid-record for the batch path
+	f.Add([]byte("MHMT"))       // wrong byte order for the magic
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
+		var events []Access
+		var terminal error
 		for i := 0; ; i++ {
-			_, err := r.Read()
+			a, err := r.Read()
 			if err == nil {
 				if i > len(data)/20+1 {
 					t.Fatalf("parsed more records than the input can hold")
 				}
+				events = append(events, a)
 				continue
 			}
 			if errors.Is(err, io.EOF) || errors.Is(err, ErrBadTrace) {
-				return
+				terminal = err
+				break
 			}
 			t.Fatalf("Read returned error outside the contract: %v", err)
+		}
+		// Cross-check: the batched path must decode the identical event
+		// sequence and end in the same terminal class as record-at-a-time
+		// reads, for every batch size.
+		for _, batch := range []int{1, 3, 64} {
+			br := NewReader(bytes.NewReader(data))
+			dst := make([]Access, batch)
+			var got []Access
+			var bTerminal error
+			for {
+				n, err := br.ReadBatch(dst)
+				got = append(got, dst[:n]...)
+				if err == nil {
+					continue
+				}
+				if errors.Is(err, io.EOF) || errors.Is(err, ErrBadTrace) {
+					bTerminal = err
+					break
+				}
+				t.Fatalf("ReadBatch returned error outside the contract: %v", err)
+			}
+			if len(got) != len(events) {
+				t.Fatalf("batch=%d decoded %d events, Read decoded %d", batch, len(got), len(events))
+			}
+			for i := range events {
+				if got[i] != events[i] {
+					t.Fatalf("batch=%d event %d = %+v, Read saw %+v", batch, i, got[i], events[i])
+				}
+			}
+			if errors.Is(terminal, ErrBadTrace) != errors.Is(bTerminal, ErrBadTrace) {
+				t.Fatalf("batch=%d terminal %v, Read terminal %v", batch, bTerminal, terminal)
+			}
 		}
 	})
 }

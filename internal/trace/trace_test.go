@@ -189,3 +189,97 @@ func TestRoundTripQuickProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReadBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	events := make([]Access, 500)
+	for i := range events {
+		events[i] = Access{
+			Time:  rng.Int63n(1 << 40),
+			Addr:  0xC0008000 + uint64(rng.Intn(1<<21)),
+			Count: uint32(rng.Intn(1000)),
+		}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, batch := range []int{1, 7, 64, 500, 1000} {
+		r := NewReader(bytes.NewReader(raw))
+		dst := make([]Access, batch)
+		var got []Access
+		for {
+			n, err := r.ReadBatch(dst)
+			got = append(got, dst[:n]...)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("batch=%d: %v", batch, err)
+			}
+			if n == 0 {
+				t.Fatalf("batch=%d: zero progress without EOF", batch)
+			}
+		}
+		if len(got) != len(events) {
+			t.Fatalf("batch=%d: read %d events, want %d", batch, len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("batch=%d: event %d = %+v, want %+v", batch, i, got[i], events[i])
+			}
+		}
+		if n, err := r.ReadBatch(dst); n != 0 || !errors.Is(err, io.EOF) {
+			t.Fatalf("batch=%d: after drain: n=%d err=%v, want 0, io.EOF", batch, n, err)
+		}
+	}
+}
+
+func TestReadBatchTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := int64(0); i < 3; i++ {
+		if err := w.Write(Access{Time: i, Addr: uint64(i), Count: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r := NewReader(bytes.NewReader(raw[:len(raw)-5])) // torn third record
+	dst := make([]Access, 8)
+	n, err := r.ReadBatch(dst)
+	if n != 2 {
+		t.Fatalf("decoded %d events before the torn record, want 2", n)
+	}
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestReadBatchEmptyDst(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Access{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if n, err := r.ReadBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty dst: n=%d err=%v, want 0, nil", n, err)
+	}
+	// The stream is untouched; the event is still there.
+	if n, err := r.ReadBatch(make([]Access, 4)); n != 1 || err != nil {
+		t.Fatalf("after empty dst: n=%d err=%v, want 1, nil", n, err)
+	}
+}

@@ -1,0 +1,25 @@
+package train
+
+import "testing"
+
+// BenchmarkTrainEM times one steady-state EM iteration (blocked E-step,
+// log-likelihood reduction, per-component M-step) at the paper's
+// reduced shape — L' = 9 dims, J = 5 components — over 2,048 samples.
+// allocs/op must be 0: the engine preallocates everything in newEM.
+func BenchmarkTrainEM(b *testing.B) {
+	data, means := testData(2048, 9, 5, 1)
+	e := newEM(data, means, fitCfg(5, 1))
+	e.eStep()
+	if bad := e.mStep(); bad >= 0 {
+		b.Fatalf("M-step failed on component %d", bad)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.eStep()
+		_ = e.sumLL()
+		if bad := e.mStep(); bad >= 0 {
+			b.Fatalf("M-step failed on component %d", bad)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// The eigenmemory covariance build: mean, mean-shifted Φ and total
+// variance over fixed dimension tiles. Each tile owns a disjoint band
+// of rows of Φ (and of the mean), so workers never contend; the only
+// cross-tile quantity — the total variance — is reduced from per-tile
+// partials in ascending tile index. Per-cell arithmetic keeps the
+// staged order (samples folded in ascending index), so the mean and Φ
+// are bit-identical to the historical serial build for every worker
+// count.
+package train
+
+import "github.com/memheatmap/mhm/internal/mat"
+
+// dimTile is the build work unit: a band of 512 heat-map cells, small
+// enough to split the paper's L = 1472 across workers, large enough to
+// amortize dispatch.
+const dimTile = 512
+
+// BuildCentered computes the mean vector Ψ, the L×N mean-shifted column
+// matrix Φ and the total variance tr(C) = Σ‖Φ_j‖²/N of a training set
+// (one sample per element, equal lengths — the caller validates). The
+// result is bit-identical for every worker count.
+func BuildCentered(set [][]float64, workers int) (mean []float64, phi *mat.Matrix, totalVar float64) {
+	n := len(set)
+	l := len(set[0])
+	mean = make([]float64, l)
+	phi = mat.New(l, n)
+	nTiles := chunkCount(l, dimTile)
+	tv := make([]float64, nTiles)
+	chunksWorker(nTiles, workers, func(idx, _ int) {
+		lo := idx * dimTile
+		hi := lo + dimTile
+		if hi > l {
+			hi = l
+		}
+		buildTile(set, mean, phi, tv, lo, hi, idx)
+	})
+	for _, v := range tv {
+		totalVar += v
+	}
+	totalVar /= float64(n)
+	return mean, phi, totalVar
+}
+
+// buildTile fills rows [lo, hi) of the mean and Φ and the tile's
+// variance partial. Per cell, the mean folds samples in ascending index
+// — the staged accumulation order.
+func buildTile(set [][]float64, mean []float64, phi *mat.Matrix, tv []float64, lo, hi, idx int) {
+	n := len(set)
+	for _, v := range set {
+		for i := lo; i < hi; i++ {
+			mean[i] += v[i]
+		}
+	}
+	inv := float64(n)
+	for i := lo; i < hi; i++ {
+		mean[i] /= inv
+	}
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		row := phi.Row(i)
+		m := mean[i]
+		for j, v := range set {
+			d := v[i] - m
+			row[j] = d
+			s += d * d
+		}
+	}
+	tv[idx] = s
+}

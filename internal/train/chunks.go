@@ -1,0 +1,68 @@
+// Deterministic work partitioning: the chunk grid is a pure function of
+// the problem size, never of the worker count, so state keyed by chunk
+// index can be reduced in ascending order with the same result on one
+// goroutine or many.
+package train
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// chunkCount returns the number of fixed-size chunks covering [0, n).
+func chunkCount(n, chunk int) int {
+	return (n + chunk - 1) / chunk
+}
+
+// ChunkCount is the exported form of the grid arithmetic, for callers
+// sizing per-chunk reduction state to match Chunks.
+func ChunkCount(n, chunk int) int {
+	return chunkCount(n, chunk)
+}
+
+// Chunks invokes fn(lo, hi, idx) once for every fixed-size chunk of
+// [0, n), on up to workers goroutines. fn must confine its writes to
+// chunk-private state (indexable by idx); under that contract results
+// are identical for every worker count, and the caller reduces
+// per-chunk partials in ascending idx.
+func Chunks(n, chunk, workers int, fn func(lo, hi, idx int)) {
+	chunksWorker(chunkCount(n, chunk), workers, func(idx, _ int) {
+		lo := idx * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi, idx)
+	})
+}
+
+// chunksWorker dispatches chunk indices [0, nChunks) to up to workers
+// goroutines, passing each invocation the worker's stable id for
+// per-worker scratch. workers <= 1 runs inline.
+func chunksWorker(nChunks, workers int, fn func(idx, worker int)) {
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		for i := 0; i < nChunks; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nChunks {
+					return
+				}
+				fn(i, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

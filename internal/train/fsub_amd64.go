@@ -1,0 +1,15 @@
+//go:build amd64
+
+package train
+
+// fsubPacked8 subtracts eight packed dot products from the lane
+// accumulators: out[k] -= Σ_i row[i]·packed[i*8+k], one forward-
+// substitution row for eight samples at once. The SSE2 kernel (baseline
+// amd64, no feature detection needed) gives each sample its own SIMD
+// lane; every lane multiplies then subtracts in ascending index order,
+// exactly the scalar sequence s -= L[i][t]·y[t], so the solve stays
+// bit-identical to the staged path. len(packed) must be 8·len(row).
+//
+//mhm:hotpath
+//go:noescape
+func fsubPacked8(row, packed []float64, out *[8]float64)

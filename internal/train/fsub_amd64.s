@@ -1,0 +1,55 @@
+// SSE2 micro-kernel for the blocked EM forward substitution: eight
+// packed dot-product subtractions from the lane accumulators, one
+// sample per SIMD lane. Lane k subtracts row[i]*packed[i*8+k] from
+// out[k] in ascending i with separate multiply and subtract (no FMA),
+// so each lane performs exactly the scalar solve's operation sequence
+// and the factor solve is bit-identical to the staged path. SSE2 is the
+// amd64 baseline; no CPU feature detection is required.
+
+#include "textflag.h"
+
+// func fsubPacked8(row, packed []float64, out *[8]float64)
+TEXT ·fsubPacked8(SB), NOSPLIT, $0-56
+	MOVQ row_base+0(FP), SI
+	MOVQ row_len+8(FP), CX
+	MOVQ packed_base+24(FP), DI
+	MOVQ out+48(FP), DX
+
+	// Running lane accumulators: X0 = lanes 0,1 ... X3 = lanes 6,7.
+	MOVUPS (DX), X0
+	MOVUPS 16(DX), X1
+	MOVUPS 32(DX), X2
+	MOVUPS 48(DX), X3
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	// Broadcast row[i] into both halves of X4.
+	MOVSD    (SI), X4
+	UNPCKLPD X4, X4
+
+	MOVUPS (DI), X5
+	MULPD  X4, X5
+	SUBPD  X5, X0
+	MOVUPS 16(DI), X6
+	MULPD  X4, X6
+	SUBPD  X6, X1
+	MOVUPS 32(DI), X7
+	MULPD  X4, X7
+	SUBPD  X7, X2
+	MOVUPS 48(DI), X8
+	MULPD  X4, X8
+	SUBPD  X8, X3
+
+	ADDQ $8, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	MOVUPS X0, (DX)
+	MOVUPS X1, 16(DX)
+	MOVUPS X2, 32(DX)
+	MOVUPS X3, 48(DX)
+	RET

@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package train
+
+// fsubPacked8 subtracts eight packed dot products from the lane
+// accumulators: out[k] -= Σ_i row[i]·packed[i*8+k], in ascending i per
+// lane — the same operation sequence as the scalar forward-substitution
+// row, and as the SSE2 kernel on amd64.
+//
+//mhm:hotpath
+func fsubPacked8(row, packed []float64, out *[8]float64) {
+	for i, r := range row {
+		p := packed[i*8 : i*8+8]
+		out[0] -= r * p[0]
+		out[1] -= r * p[1]
+		out[2] -= r * p[2]
+		out[3] -= r * p[3]
+		out[4] -= r * p[4]
+		out[5] -= r * p[5]
+		out[6] -= r * p[6]
+		out[7] -= r * p[7]
+	}
+}

@@ -1,0 +1,220 @@
+// Package train is the fused, parallel, zero-steady-state-allocation
+// training engine behind gmm.Train and pca.Train (DESIGN.md §9). It
+// owns the blocked EM inner loop — a per-iteration log-density matrix
+// computed once through fused Cholesky forward-substitution kernels
+// (SSE2 lanes on amd64, pure Go elsewhere), responsibilities and the
+// total log-likelihood derived from that single matrix, and a
+// per-component parallel M-step — plus the tiled mean/Φ/variance build
+// of the eigenmemory covariance.
+//
+// Determinism contract: for a fixed input, every result is bit-identical
+// for every worker count, including the serial run. Sample chunks and
+// dimension tiles form a fixed grid that depends only on the problem
+// size; each chunk writes disjoint state, and every cross-chunk
+// reduction (the log-likelihood sum, the variance partials) folds in
+// ascending chunk index. The per-sample and per-component arithmetic
+// reproduces the operation order of the staged gmm/pca paths exactly, so
+// models trained through this engine match the historical fits bit for
+// bit.
+package train
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a component covariance loses positive
+// definiteness during the M-step (regularization too small for the
+// data); the caller abandons that restart.
+var ErrNotSPD = errors.New("train: covariance not positive definite")
+
+const log2Pi = 1.8378770664093453 // ln(2π)
+
+// sampleChunk is the E-step work unit: a fixed slice of samples, a
+// multiple of the 8-lane SIMD block, small enough to spread restarts'
+// leftover cores and large enough to amortize dispatch.
+const sampleChunk = 1024
+
+// EMConfig tunes one EM fit.
+type EMConfig struct {
+	// K is the number of mixture components.
+	K int
+	// MaxIter bounds EM iterations.
+	MaxIter int
+	// Tol stops iterating when the total log-likelihood improves by less
+	// than Tol.
+	Tol float64
+	// Reg is the diagonal covariance regularization.
+	Reg float64
+	// InitVar is the initial shared spherical variance (Reg is added on
+	// the diagonal on top of it).
+	InitVar float64
+	// Workers bounds the goroutines used inside the fit (E-step sample
+	// chunks, M-step components). Values below 1 mean serial. Results
+	// are bit-identical for every value.
+	Workers int
+}
+
+// EMModel is a fitted mixture in flat form: component j's mean occupies
+// Means[j*D:(j+1)*D] and its covariance Covs[j*D*D:(j+1)*D*D],
+// row-major.
+type EMModel struct {
+	K, D    int
+	Weights []float64
+	Means   []float64
+	Covs    []float64
+	// LogLikelihood is the total training log-likelihood at the stopping
+	// E-step (the restart-selection criterion).
+	LogLikelihood float64
+}
+
+// EMFit runs one EM fit from the given initial means (one slice per
+// component, typically from k-means++ seeding). data is not modified;
+// the returned model owns its storage.
+func EMFit(data [][]float64, initMeans [][]float64, cfg EMConfig) (*EMModel, error) {
+	n := len(data)
+	if n == 0 || cfg.K <= 0 || len(initMeans) != cfg.K {
+		return nil, fmt.Errorf("train: EMFit: %d samples, %d components, %d initial means", n, cfg.K, len(initMeans))
+	}
+	d := len(data[0])
+	e := newEM(data, initMeans, cfg)
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		e.eStep()
+		ll := e.sumLL()
+		if iter > 0 && ll-prevLL < cfg.Tol {
+			prevLL = ll
+			break
+		}
+		prevLL = ll
+		if bad := e.mStep(); bad >= 0 {
+			return nil, fmt.Errorf("train: component %d: %w", bad, ErrNotSPD)
+		}
+	}
+	m := &EMModel{
+		K:             cfg.K,
+		D:             d,
+		Weights:       e.weight,
+		Means:         e.mean,
+		Covs:          e.cov,
+		LogLikelihood: prevLL,
+	}
+	return m, nil
+}
+
+// em is the preallocated per-restart state: after newEM, an iteration
+// (eStep + sumLL + mStep) allocates nothing in serial mode and only
+// goroutine bookkeeping when Workers > 1.
+type em struct {
+	n, d, k int
+	workers int
+	reg     float64
+
+	x    []float64 // n×d packed samples
+	resp []float64 // n×k: log-density terms, then responsibilities in place
+	ll   []float64 // per-sample log-likelihood of the current E-step
+
+	weight []float64 // k mixing weights
+	logW   []float64 // k: ln weight, refreshed each M-step
+	mean   []float64 // k×d
+	cov    []float64 // k×d×d row-major
+	chol   []float64 // k×d×d lower-triangular factors of cov
+	base   []float64 // k: d·ln(2π) + logdet, the density constant
+	spd    []bool    // per-component M-step factorization outcome
+
+	pack  []float64 // per-worker diff/y panels, 16·d floats each
+	mdiff []float64 // per-component M-step diff scratch, k×d
+
+	// Dispatch closures, built once so steady-state iterations do not
+	// allocate even for the serial dispatcher.
+	eChunk func(idx, worker int)
+	mChunk func(idx, worker int)
+}
+
+// newEM packs the data and builds the initial model: the caller's means,
+// uniform weights, shared spherical covariance InitVar+Reg.
+func newEM(data [][]float64, initMeans [][]float64, cfg EMConfig) *em {
+	n, d, k := len(data), len(data[0]), cfg.K
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	e := &em{
+		n: n, d: d, k: k,
+		workers: workers,
+		reg:     cfg.Reg,
+		x:       make([]float64, n*d),
+		resp:    make([]float64, n*k),
+		ll:      make([]float64, n),
+		weight:  make([]float64, k),
+		logW:    make([]float64, k),
+		mean:    make([]float64, k*d),
+		cov:     make([]float64, k*d*d),
+		chol:    make([]float64, k*d*d),
+		base:    make([]float64, k),
+		spd:     make([]bool, k),
+		pack:    make([]float64, workers*16*d),
+		mdiff:   make([]float64, k*d),
+	}
+	for i, v := range data {
+		copy(e.x[i*d:(i+1)*d], v)
+	}
+	v0 := cfg.InitVar + cfg.Reg
+	for j := 0; j < k; j++ {
+		copy(e.mean[j*d:(j+1)*d], initMeans[j])
+		e.weight[j] = 1 / float64(k)
+		e.logW[j] = math.Log(e.weight[j])
+		covj := e.cov[j*d*d : (j+1)*d*d]
+		for a := 0; a < d; a++ {
+			covj[a*d+a] = v0
+		}
+		// The spherical initial covariance is SPD by construction.
+		cholFlat(covj, e.chol[j*d*d:(j+1)*d*d], d)
+		e.base[j] = float64(d)*log2Pi + logDetFlat(e.chol[j*d*d:(j+1)*d*d], d)
+	}
+	e.eChunk = func(c, wi int) {
+		lo := c * sampleChunk
+		hi := lo + sampleChunk
+		if hi > e.n {
+			hi = e.n
+		}
+		e.densRange(lo, hi, wi)
+	}
+	e.mChunk = func(j, _ int) {
+		e.spd[j] = e.mStepComponent(j)
+	}
+	return e
+}
+
+// eStep fills resp with responsibilities and ll with per-sample
+// log-likelihoods, parallel over fixed sample chunks.
+func (e *em) eStep() {
+	chunksWorker(chunkCount(e.n, sampleChunk), e.workers, e.eChunk)
+}
+
+// sumLL folds the per-sample log-likelihoods in ascending sample order —
+// the same order the staged E-step accumulated them — keeping the
+// convergence test independent of the chunk grid.
+func (e *em) sumLL() float64 {
+	s := 0.0
+	for _, v := range e.ll {
+		s += v
+	}
+	return s
+}
+
+// mStep updates weights, means and covariances from resp, parallel over
+// components (their accumulations are independent straight loops, so
+// per-component fan-out preserves bit-identity with the serial sweep).
+// It returns the index of a component whose covariance failed to factor,
+// or -1.
+func (e *em) mStep() int {
+	chunksWorker(e.k, e.workers, e.mChunk)
+	for j, ok := range e.spd {
+		if !ok {
+			return j
+		}
+	}
+	return -1
+}

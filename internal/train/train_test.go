@@ -1,0 +1,276 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/mat"
+)
+
+// testData draws n samples around k separated centers plus the k seed
+// means (the first k samples, mimicking a crude k-means pick).
+func testData(n, d, k int, seed int64) (data, means [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	data = make([][]float64, n)
+	for i := range data {
+		c := i % k
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = 8*float64(c) + rng.NormFloat64()
+		}
+		data[i] = v
+	}
+	means = make([][]float64, k)
+	for j := range means {
+		means[j] = append([]float64(nil), data[j]...)
+	}
+	return data, means
+}
+
+func fitCfg(k, workers int) EMConfig {
+	return EMConfig{K: k, MaxIter: 40, Tol: 1e-6, Reg: 1e-6, InitVar: 1, Workers: workers}
+}
+
+// TestEMFitWorkerCountsBitIdentical pins the determinism contract at
+// the engine level: every worker count yields a bitwise-equal model.
+func TestEMFitWorkerCountsBitIdentical(t *testing.T) {
+	for _, shape := range []struct{ n, d, k int }{
+		{300, 5, 3},
+		{1029, 9, 5}, // crosses the sample-chunk boundary, odd tail
+		{17, 3, 2},
+	} {
+		data, means := testData(shape.n, shape.d, shape.k, 7)
+		base, err := EMFit(data, means, fitCfg(shape.k, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 5, 16} {
+			got, err := EMFit(data, means, fitCfg(shape.k, workers))
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if math.Float64bits(base.LogLikelihood) != math.Float64bits(got.LogLikelihood) {
+				t.Fatalf("n=%d workers=%d: LL %v vs %v", shape.n, workers, base.LogLikelihood, got.LogLikelihood)
+			}
+			for i, v := range base.Weights {
+				if math.Float64bits(v) != math.Float64bits(got.Weights[i]) {
+					t.Fatalf("n=%d workers=%d: weight[%d] differs", shape.n, workers, i)
+				}
+			}
+			for i, v := range base.Means {
+				if math.Float64bits(v) != math.Float64bits(got.Means[i]) {
+					t.Fatalf("n=%d workers=%d: mean flat[%d] differs", shape.n, workers, i)
+				}
+			}
+			for i, v := range base.Covs {
+				if math.Float64bits(v) != math.Float64bits(got.Covs[i]) {
+					t.Fatalf("n=%d workers=%d: cov flat[%d] differs", shape.n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEMIterationAllocationFree is the PR's steady-state guard: after
+// newEM, a full serial EM iteration (E-step, reduction, M-step)
+// performs zero heap allocations.
+func TestEMIterationAllocationFree(t *testing.T) {
+	data, means := testData(512, 9, 5, 3)
+	e := newEM(data, means, fitCfg(5, 1))
+	e.eStep()
+	if bad := e.mStep(); bad >= 0 {
+		t.Fatalf("M-step failed on component %d", bad)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		e.eStep()
+		_ = e.sumLL()
+		if bad := e.mStep(); bad >= 0 {
+			t.Fatalf("M-step failed on component %d", bad)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EM iteration allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestCholFlatMatchesMat verifies the in-place factorization against
+// mat.NewCholesky bit for bit, including the log-determinant.
+func TestCholFlatMatchesMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, d := range []int{1, 2, 5, 9} {
+		// Build an SPD matrix A = B Bᵀ + I.
+		a := make([]float64, d*d)
+		b := make([]float64, d*d)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		am := mat.New(d, d)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				s := 0.0
+				for k := 0; k < d; k++ {
+					s += b[i*d+k] * b[j*d+k]
+				}
+				if i == j {
+					s += float64(d)
+				}
+				a[i*d+j] = s
+				am.Set(i, j, s)
+			}
+		}
+		want, err := mat.NewCholesky(am)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := make([]float64, d*d)
+		if !cholFlat(a, l, d) {
+			t.Fatalf("d=%d: cholFlat rejected an SPD matrix", d)
+		}
+		wl := want.L()
+		for i := 0; i < d; i++ {
+			for j := 0; j <= i; j++ {
+				if math.Float64bits(l[i*d+j]) != math.Float64bits(wl.At(i, j)) {
+					t.Fatalf("d=%d: L[%d][%d] = %v, want %v", d, i, j, l[i*d+j], wl.At(i, j))
+				}
+			}
+		}
+		if math.Float64bits(logDetFlat(l, d)) != math.Float64bits(want.LogDet()) {
+			t.Fatalf("d=%d: logdet %v, want %v", d, logDetFlat(l, d), want.LogDet())
+		}
+		// Non-SPD input must be rejected.
+		bad := make([]float64, d*d)
+		bad[0] = -1
+		if cholFlat(bad, l, d) {
+			t.Fatalf("d=%d: cholFlat accepted a negative pivot", d)
+		}
+	}
+}
+
+// TestFsubPacked8MatchesScalar verifies the SIMD lane kernel against
+// the scalar subtraction sequence bit for bit.
+func TestFsubPacked8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, rows := range []int{0, 1, 3, 8, 17} {
+		row := make([]float64, rows)
+		packed := make([]float64, rows*8)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		for i := range packed {
+			packed[i] = rng.NormFloat64()
+		}
+		var got, want [8]float64
+		for lane := 0; lane < 8; lane++ {
+			got[lane] = rng.NormFloat64()
+			want[lane] = got[lane]
+		}
+		fsubPacked8(row, packed, &got)
+		for lane := 0; lane < 8; lane++ {
+			s := want[lane]
+			for i, r := range row {
+				s -= r * packed[i*8+lane]
+			}
+			want[lane] = s
+		}
+		for lane := 0; lane < 8; lane++ {
+			if math.Float64bits(got[lane]) != math.Float64bits(want[lane]) {
+				t.Fatalf("rows=%d lane %d: %v, want %v", rows, lane, got[lane], want[lane])
+			}
+		}
+	}
+}
+
+// TestEMFitRejectsBadInput covers the argument contract.
+func TestEMFitRejectsBadInput(t *testing.T) {
+	data, means := testData(10, 2, 2, 1)
+	if _, err := EMFit(nil, means, fitCfg(2, 1)); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := EMFit(data, means[:1], fitCfg(2, 1)); err == nil {
+		t.Fatal("mismatched initial means accepted")
+	}
+	if _, err := EMFit(data, means, fitCfg(0, 1)); err == nil {
+		t.Fatal("zero components accepted")
+	}
+}
+
+// TestBuildCenteredMatchesStaged verifies the tiled build against the
+// staged serial reference (the pre-engine pca.Train loops) bit for bit
+// on mean and Φ, and that the variance reduction is worker-independent.
+func TestBuildCenteredMatchesStaged(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, shape := range []struct{ n, l int }{
+		{5, 3},
+		{40, 700}, // spans two dimension tiles
+		{9, 1472}, // the paper's L
+	} {
+		set := make([][]float64, shape.n)
+		for j := range set {
+			v := make([]float64, shape.l)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			set[j] = v
+		}
+		// Staged reference.
+		wantMean := make([]float64, shape.l)
+		for _, v := range set {
+			for i, x := range v {
+				wantMean[i] += x
+			}
+		}
+		for i := range wantMean {
+			wantMean[i] /= float64(shape.n)
+		}
+		wantPhi := mat.New(shape.l, shape.n)
+		for j, v := range set {
+			for i, x := range v {
+				wantPhi.Set(i, j, x-wantMean[i])
+			}
+		}
+		var baseVar float64
+		for wi, workers := range []int{1, 2, 4, 9} {
+			mean, phi, totalVar := BuildCentered(set, workers)
+			for i := range mean {
+				if math.Float64bits(mean[i]) != math.Float64bits(wantMean[i]) {
+					t.Fatalf("l=%d workers=%d: mean[%d] = %v, want %v", shape.l, workers, i, mean[i], wantMean[i])
+				}
+			}
+			for i := 0; i < shape.l; i++ {
+				for j := 0; j < shape.n; j++ {
+					if math.Float64bits(phi.At(i, j)) != math.Float64bits(wantPhi.At(i, j)) {
+						t.Fatalf("l=%d workers=%d: phi[%d][%d] differs", shape.l, workers, i, j)
+					}
+				}
+			}
+			if wi == 0 {
+				baseVar = totalVar
+				continue
+			}
+			if math.Float64bits(totalVar) != math.Float64bits(baseVar) {
+				t.Fatalf("l=%d workers=%d: totalVar %v, want %v", shape.l, workers, totalVar, baseVar)
+			}
+		}
+	}
+}
+
+// TestChunksCoversRange checks the public chunk iterator contract.
+func TestChunksCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 65} {
+		if got, want := ChunkCount(n, 16), (n+15)/16; got != want {
+			t.Fatalf("ChunkCount(%d, 16) = %d, want %d", n, got, want)
+		}
+		seen := make([]bool, n)
+		Chunks(n, 16, 4, func(lo, hi, idx int) {
+			for i := lo; i < hi; i++ {
+				seen[i] = true
+			}
+		})
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("n=%d: index %d not covered", n, i)
+			}
+		}
+	}
+}

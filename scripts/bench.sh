@@ -1,11 +1,20 @@
 #!/bin/sh
-# Benchmark the scoring engine and record a machine-readable baseline.
+# Benchmark the scoring and training engines and record machine-readable
+# baselines.
 #
-# Runs the three scoring-path benchmarks (single-vector analysis loop,
-# batched ScoreBatch at B=64, sharded multi-stream pipeline) several
-# times, takes the median ns/op of each, and writes BENCH_scoring.json
-# at the repo root with the derived batch-vs-single and sharded-vs-single
-# speedups. The acceptance bar tracked by this file: batch_speedup >= 2.
+# Scoring: runs the three scoring-path benchmarks (single-vector
+# analysis loop, batched ScoreBatch at B=64, sharded multi-stream
+# pipeline) several times, takes the median ns/op of each, and writes
+# BENCH_scoring.json at the repo root with the derived batch-vs-single
+# and sharded-vs-single speedups. Bar: batch_speedup >= 2.
+#
+# Training: runs the training-engine benchmarks (core.Train serial vs
+# parallel, pca.Train serial vs parallel, trace decode per-record vs
+# ReadBatch, and the internal/train steady-state EM iteration) and
+# writes BENCH_training.json. Bars: the EM iteration must allocate 0
+# times per op on every machine; core.Train parallel speedup >= 2.5 is
+# enforced only on multi-core runners (serial and parallel are
+# bit-identical, so a single-core machine legitimately shows 1.0x).
 #
 # Usage: scripts/bench.sh [count] [benchtime]
 #   count     repetitions per benchmark for the median (default 3)
@@ -65,3 +74,71 @@ END {
 echo
 echo "wrote $OUT:"
 cat "$OUT"
+
+# ---------------------------------------------------------------- training
+
+TRAIN_OUT="BENCH_training.json"
+CPUS="$(go env GOMAXPROCS 2>/dev/null || echo 1)"
+case "$CPUS" in ''|*[!0-9]*) CPUS=1 ;; esac
+
+TRAIN_RAW="$(go test -run '^$' \
+  -bench 'CoreTrainSerial$|CoreTrainParallel$|PCATrain$|PCATrainParallel$|TraceReadRecord$|TraceReadBatch$' \
+  -benchmem -benchtime="$BENCHTIME" -count="$COUNT" .)"
+EM_RAW="$(go test -run '^$' -bench 'TrainEM$' \
+  -benchmem -benchtime="$BENCHTIME" -count="$COUNT" ./internal/train)"
+
+printf '%s\n%s\n' "$TRAIN_RAW" "$EM_RAW"
+
+printf '%s\n%s\n' "$TRAIN_RAW" "$EM_RAW" | awk -v out="$TRAIN_OUT" -v cpus="$CPUS" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    ns[name] = ns[name] " " $3
+    allocs[name] = $7                  # identical across reps
+    n[name]++
+}
+function median(list, cnt,    arr, i, j, tmp, m) {
+    m = split(list, arr, " ")
+    for (i = 1; i < m; i++)
+        for (j = i + 1; j <= m; j++)
+            if (arr[j] + 0 < arr[i] + 0) { tmp = arr[i]; arr[i] = arr[j]; arr[j] = tmp }
+    if (m % 2) return arr[(m + 1) / 2] + 0
+    return (arr[m / 2] + arr[m / 2 + 1]) / 2
+}
+function field(key, bench,    v) {
+    if (!(bench in ns)) { printf "bench.sh: missing benchmark %s\n", bench > "/dev/stderr"; exit 1 }
+    v = median(ns[bench], n[bench])
+    printf "  \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %d},\n", key, v, allocs[bench] + 0 >> out
+    return v
+}
+END {
+    printf "{\n" > out
+    printf "  \"cpus\": %d,\n", cpus >> out
+    serial   = field("core_train_serial",   "CoreTrainSerial")
+    parallel = field("core_train_parallel", "CoreTrainParallel")
+    pcas     = field("pca_train_serial",    "PCATrain")
+    pcap     = field("pca_train_parallel",  "PCATrainParallel")
+    record   = field("trace_read_record",   "TraceReadRecord")
+    batch    = field("trace_read_batch",    "TraceReadBatch")
+    em       = field("em_iteration",        "TrainEM")
+    printf "  \"train_speedup\": %.2f,\n", serial / parallel >> out
+    printf "  \"pca_speedup\": %.2f,\n", pcas / pcap >> out
+    printf "  \"ingest_speedup\": %.2f\n", record / batch >> out
+    printf "}\n" >> out
+    if (allocs["TrainEM"] + 0 != 0) {
+        printf "bench.sh: EM iteration allocates %d times per op, want 0\n", allocs["TrainEM"] + 0 > "/dev/stderr"
+        exit 1
+    }
+    if (cpus > 1 && serial / parallel < 2.5) {
+        printf "bench.sh: core.Train parallel speedup %.2fx below the 2.5x bar on %d cpus\n", serial / parallel, cpus > "/dev/stderr"
+        exit 1
+    }
+    if (cpus <= 1)
+        printf "bench.sh: single-core runner; 2.5x train speedup bar skipped (serial==parallel bit-identical)\n" > "/dev/stderr"
+}
+'
+
+echo
+echo "wrote $TRAIN_OUT:"
+cat "$TRAIN_OUT"
