@@ -7,8 +7,13 @@
 //	mhmreport [-exp all|fig1|training|fig6|fig7|fig8|fig9|fig10|analysis|taskset|
 //	           ablation-lprime|ablation-j|ablation-gran|ablation-baseline|
 //	           ablation-cache|smp|alarms|extended|roc|auto-j|generalize|multiregion|
-//	           metrics|scoring]
-//	          [-scale paper|medium|quick] [-seed N]
+//	           metrics|scoring|scenarios]
+//	          [-scale paper|medium|quick] [-seed N] [-json FILE]
+//
+// The scenarios experiment runs the full scenario × detector matrix
+// (catalogued attacks and workload changes against the MHM, syscall-
+// frequency and ensemble detectors); -json additionally writes it in
+// the BENCH_scenarios.json schema.
 //
 // The paper scale (10 runs x 3 s of training data) takes tens of seconds;
 // medium and quick scales run the identical pipeline on less data. The
@@ -55,15 +60,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	scaleName := flag.String("scale", "medium", "paper, medium or quick")
 	seed := flag.Int64("seed", 1, "platform seed")
+	jsonPath := flag.String("json", "", "write machine-readable results here (scenarios experiment)")
 	flag.Parse()
 
-	if err := run(*exp, *scaleName, *seed); err != nil {
+	if err := run(*exp, *scaleName, *seed, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "mhmreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scaleName string, seed int64) error {
+func run(exp, scaleName string, seed int64, jsonPath string) error {
 	scale, err := scaleByName(scaleName)
 	if err != nil {
 		return err
@@ -313,6 +319,30 @@ func run(exp, scaleName string, seed int64) error {
 				return err
 			}
 			return metricsSummary(lab, d, seed)
+		}},
+		{"scenarios", func() error {
+			cfg := experiments.DefaultMatrixConfig()
+			if scaleName == "quick" {
+				cfg = experiments.QuickMatrixConfig()
+			}
+			m, err := lab.Scenarios(9400, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(m.String())
+			if jsonPath == "" {
+				return nil
+			}
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := m.WriteJSON(f); err != nil {
+				_ = f.Close()
+				return err
+			}
+			fmt.Printf("  wrote %s\n", jsonPath)
+			return f.Close()
 		}},
 		{"scoring", func() error {
 			d, err := detector()

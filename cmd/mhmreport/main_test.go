@@ -18,10 +18,10 @@ func TestScaleByName(t *testing.T) {
 }
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	if err := run("not-an-experiment", "quick", 1); err == nil {
+	if err := run("not-an-experiment", "quick", 1, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("taskset", "bogus-scale", 1); err == nil {
+	if err := run("taskset", "bogus-scale", 1, ""); err == nil {
 		t.Error("unknown scale accepted")
 	}
 }
@@ -30,10 +30,10 @@ func TestRunSingleExperimentQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if err := run("taskset", "quick", 1); err != nil {
+	if err := run("taskset", "quick", 1, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("fig1", "quick", 1); err != nil {
+	if err := run("fig1", "quick", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 }

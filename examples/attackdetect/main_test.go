@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRunSmoke sweeps the full scenario catalog at a small geometry;
+// the example must stay wired to the registry — a scenario added to
+// attack.Catalog() is automatically covered here.
+func TestRunSmoke(t *testing.T) {
+	if err := run(15, 40); err != nil {
+		t.Fatal(err)
+	}
+}

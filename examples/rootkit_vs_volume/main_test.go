@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRunSmoke exercises all three views at a small geometry; the
+// example must stay wired to the live lab and scenario registry APIs.
+func TestRunSmoke(t *testing.T) {
+	if err := run(999, 20, 50); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/securecore"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// scenarioErr accepts either package's sentinel: attack scenarios wrap
+// ErrScenario, workload-change scenarios wrap workload.ErrSpec.
+func scenarioErr(err error) bool {
+	return errors.Is(err, ErrScenario) || errors.Is(err, workload.ErrSpec)
+}
+
+// hostBound lists catalog entries whose Transform must reject a task
+// set that lacks their host (and therefore also a nil task set).
+var hostBound = map[string]bool{
+	"shellcode":         true,
+	"data-exfiltration": true,
+	"mimicry":           true,
+	"app-upgrade":       true,
+	"phase-shift":       true, // rejects an empty task set outright
+}
+
+// TestCatalogConformance is the table-driven contract every catalogued
+// scenario must satisfy: names match, a zero event time is rejected,
+// and Transform on a nil task set either errors cleanly (host-bound
+// scenarios) or succeeds — it never panics.
+func TestCatalogConformance(t *testing.T) {
+	entries := Catalog()
+	if len(entries) < 10 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 10", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			if seen[e.Name] {
+				t.Fatalf("duplicate catalog name %q", e.Name)
+			}
+			seen[e.Name] = true
+			if e.Kind != "attack" && e.Kind != "workload-change" {
+				t.Errorf("kind %q, want attack|workload-change", e.Kind)
+			}
+			if got := e.Build(1000).Name(); got != e.Name {
+				t.Errorf("Build().Name() = %q, want %q", got, e.Name)
+			}
+			if err := e.Build(0).Transform(nil); !scenarioErr(err) {
+				t.Errorf("Transform with eventAt=0: got %v, want scenario error", err)
+			}
+			err := e.Build(1000).Transform(nil)
+			if hostBound[e.Name] {
+				if !scenarioErr(err) {
+					t.Errorf("Transform(nil) for host-bound scenario: got %v, want scenario error", err)
+				}
+			} else if err != nil {
+				t.Errorf("Transform(nil) = %v, want nil", err)
+			}
+			fresh, err2 := Find(e.Name)
+			if err2 != nil || fresh.Name != e.Name {
+				t.Errorf("Find(%q) = %+v, %v", e.Name, fresh, err2)
+			}
+		})
+	}
+	if _, err := Find("no-such-scenario"); !errors.Is(err, ErrScenario) {
+		t.Errorf("Find(unknown): got %v, want ErrScenario", err)
+	}
+}
+
+// TestCatalogCleanPrefixAndDeterminism runs every catalogued scenario
+// twice at the same seed and checks (1) both runs produce bit-identical
+// heat-map series — scenarios must be deterministic — and (2) every
+// interval before the scenario's event is bit-identical to the clean
+// baseline: activating a scenario must not perturb the past.
+func TestCatalogCleanPrefixAndDeterminism(t *testing.T) {
+	const (
+		eventAt = 300_000 // interval 30
+		horizon = 500_000
+		seed    = 11
+	)
+	run := func(sc Scenario) []*heatmap.HeatMap {
+		t.Helper()
+		img := testImage(t)
+		s, err := BuildScenarioSession(img, sc, securecore.SessionConfig{NoiseSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maps, err := s.Run(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Monitor.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return maps
+	}
+	clean := run(nil)
+	if len(clean) != horizon/10_000 {
+		t.Fatalf("clean run produced %d maps, want %d", len(clean), horizon/10_000)
+	}
+	for _, e := range Catalog() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			a := run(e.Build(eventAt))
+			b := run(e.Build(eventAt))
+			if len(a) != len(clean) || len(b) != len(clean) {
+				t.Fatalf("map counts %d/%d, want %d", len(a), len(b), len(clean))
+			}
+			for i := range a {
+				if d, err := a[i].L1Distance(b[i]); err != nil || d != 0 {
+					t.Fatalf("interval %d not deterministic across runs (d=%d, err=%v)", i, d, err)
+				}
+			}
+			for i := 0; i < int(eventAt)/10_000; i++ {
+				if d, err := a[i].L1Distance(clean[i]); err != nil || d != 0 {
+					t.Fatalf("pre-event interval %d differs from clean baseline (d=%d, err=%v)", i, d, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+// Scenario corpus v2: adversarial attacks designed against the MHM
+// detector itself. The paper's three scenarios (attack.go) change
+// either the task set or the kernel's cell profile; the scenarios here
+// are shaped to NOT change the cell profile — a mimicry attack reuses
+// exactly the kernel services its host already executes, and a
+// slow-drift rootkit ramps its displacement below θ_p over many
+// intervals. Both are the motivating cases for the syscall-frequency
+// channel (internal/syscalls) and the ensemble fusion layer
+// (internal/ensemble).
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+)
+
+// Mimicry models a compromised task that performs covert extra kernel
+// work while imitating the clean kernel's cell profile: instead of
+// calling conspicuous services (sockets, fork/exec) it amplifies the
+// host's own syscall mix — the same services, in the same proportions —
+// so the MHM's per-cell composition keeps its shape and the density
+// displacement stays small. The kernel time for the extra invocations
+// is stolen from the host's compute budget, so the schedule is
+// unchanged too. What does shift is the absolute syscall frequency,
+// which is the signature the syscall-frequency channel reads.
+type Mimicry struct {
+	// Host is the imitated task (default "sha", whose read-heavy profile
+	// offers the most cover traffic).
+	Host string
+	// StartAt is when the covert activity begins.
+	StartAt int64
+	// Intensity is the fraction of the host's own per-job syscall
+	// invocations added as covert work (default 0.5).
+	Intensity float64
+}
+
+// Name implements Scenario.
+func (m *Mimicry) Name() string { return "mimicry" }
+
+// Transform implements Scenario: after StartAt every host job's syscall
+// segments are amplified by Intensity, with the extra kernel time
+// carved out of the job's largest compute segment.
+func (m *Mimicry) Transform(tasks []*rtos.Task) error {
+	if m.StartAt <= 0 {
+		return fmt.Errorf("attack: mimicry StartAt=%d: %w", m.StartAt, ErrScenario)
+	}
+	if m.Host == "" {
+		m.Host = "sha"
+	}
+	if m.Intensity == 0 {
+		m.Intensity = 0.5
+	}
+	if m.Intensity < 0 || m.Intensity > 4 {
+		return fmt.Errorf("attack: mimicry Intensity=%g: %w", m.Intensity, ErrScenario)
+	}
+	for _, t := range tasks {
+		if t.Name != m.Host {
+			continue
+		}
+		base := t.Behavior
+		period, phase, startAt, intensity := t.Period, t.Phase, m.StartAt, m.Intensity
+		t.Behavior = rtos.BehaviorFunc(func(idx int64, rng *rand.Rand) []rtos.Segment {
+			segs := base.NewJob(idx, rng)
+			if phase+idx*period < startAt {
+				return segs
+			}
+			return amplifySyscalls(segs, intensity)
+		})
+		return nil
+	}
+	return fmt.Errorf("attack: mimicry host %q not in task set: %w", m.Host, ErrScenario)
+}
+
+// amplifySyscalls scales every syscall segment's invocations by
+// (1+intensity), paying for the extra kernel time out of the largest
+// compute segment so the job's total execution time is preserved when
+// the budget allows.
+func amplifySyscalls(segs []rtos.Segment, intensity float64) []rtos.Segment {
+	out := make([]rtos.Segment, len(segs))
+	copy(out, segs)
+	var extraTime int64
+	for i, seg := range out {
+		if seg.Kind != rtos.Syscall || seg.Invocations <= 0 || seg.Duration <= 0 {
+			continue
+		}
+		perInv := float64(seg.Duration) / float64(seg.Invocations)
+		extraInv := int(intensity*float64(seg.Invocations) + 0.5)
+		if extraInv == 0 {
+			continue
+		}
+		extraDur := int64(perInv*float64(extraInv) + 0.5)
+		out[i].Invocations += extraInv
+		out[i].Duration += extraDur
+		extraTime += extraDur
+	}
+	// Steal the time from the biggest compute segment; if there is no
+	// room the job simply runs long (a louder, less careful attacker).
+	biggest := -1
+	for i, seg := range out {
+		if seg.Kind == rtos.Compute && (biggest < 0 || seg.Duration > out[biggest].Duration) {
+			biggest = i
+		}
+	}
+	if biggest >= 0 && out[biggest].Duration > extraTime {
+		out[biggest].Duration -= extraTime
+	}
+	return out
+}
+
+// Install implements Scenario: the behaviour wrap does all the work.
+func (m *Mimicry) Install(*rtos.Scheduler, *kernelmap.Image) error { return nil }
+
+// SvcDriftHook is the module-space execution profile of the slow-drift
+// rootkit's hooked read handler. Like SvcRootkitHook it lives outside
+// the monitored .text region; a separate service name keeps the two
+// rootkits' images independent when labs share an image.
+const SvcDriftHook = "drift_hook"
+
+// SlowDrift models a rootkit engineered against per-interval θ_p
+// decision rules on BOTH channels: it hot-patches the read path
+// silently (no insmod spike) and burns unattributed CPU time after each
+// read — the implant's code lives in module space, outside the
+// monitored .text region, and crosses no recorded service boundary, so
+// neither the heat map nor the syscall-frequency stream sees a direct
+// marker. What remains is indirect: jobs stretch, the per-interval
+// composition of kernel activity drifts, and the displacement ramps
+// linearly from zero to MaxDelay per read over RampMicros. Every single
+// interval stays below threshold — only statistics that accumulate
+// evidence across intervals (the ensemble's CUSUM drift channel) see
+// the ramp.
+type SlowDrift struct {
+	// StartAt is when the hot-patch lands.
+	StartAt int64
+	// RampMicros is the time to reach full intensity (default 2s).
+	RampMicros int64
+	// MaxDelay is the fully ramped extra latency per hijacked read
+	// invocation in µs (default 40, the RootkitLKM steady state).
+	MaxDelay int64
+}
+
+// Name implements Scenario.
+func (sd *SlowDrift) Name() string { return "slow-drift" }
+
+// Transform implements Scenario: reads issued after StartAt pick up an
+// unattributed compute stretch whose duration ramps with the release
+// time.
+func (sd *SlowDrift) Transform(tasks []*rtos.Task) error {
+	if sd.StartAt <= 0 {
+		return fmt.Errorf("attack: slow-drift StartAt=%d: %w", sd.StartAt, ErrScenario)
+	}
+	if sd.RampMicros == 0 {
+		sd.RampMicros = 2_000_000
+	}
+	if sd.MaxDelay == 0 {
+		sd.MaxDelay = 40
+	}
+	if sd.RampMicros < 0 || sd.MaxDelay < 0 {
+		return fmt.Errorf("attack: slow-drift RampMicros=%d MaxDelay=%d: %w",
+			sd.RampMicros, sd.MaxDelay, ErrScenario)
+	}
+	for _, t := range tasks {
+		base := t.Behavior
+		period, phase := t.Period, t.Phase
+		startAt, ramp, maxDelay := sd.StartAt, sd.RampMicros, sd.MaxDelay
+		t.Behavior = rtos.BehaviorFunc(func(idx int64, rng *rand.Rand) []rtos.Segment {
+			segs := base.NewJob(idx, rng)
+			release := phase + idx*period
+			if release < startAt {
+				return segs
+			}
+			elapsed := release - startAt
+			delay := maxDelay
+			if elapsed < ramp {
+				delay = maxDelay * elapsed / ramp
+			}
+			if delay < 1 {
+				return segs
+			}
+			out := make([]rtos.Segment, 0, len(segs)+4)
+			for _, seg := range segs {
+				out = append(out, seg)
+				if seg.Kind == rtos.Syscall && seg.Service == kernelmap.SvcRead {
+					// The implant runs inline on the read return path but in
+					// module space and without a service event: pure stolen
+					// time, no direct signature on either channel.
+					out = append(out, rtos.Segment{
+						Kind:     rtos.Compute,
+						Duration: delay * int64(seg.Invocations),
+					})
+				}
+			}
+			return out
+		})
+	}
+	return nil
+}
+
+// Install implements Scenario: the hook's module-space profile is
+// registered on the image (idempotently); unlike RootkitLKM there is no
+// insmod one-shot — the patch is applied through an existing kernel
+// write primitive and loads nothing the module loader would log.
+func (sd *SlowDrift) Install(sched *rtos.Scheduler, img *kernelmap.Image) error {
+	if _, err := img.Service(SvcDriftHook); err != nil {
+		if _, err := img.RegisterModuleService(SvcDriftHook, 0x48000, sd.MaxDelay, 900, 78); err != nil {
+			return err
+		}
+	}
+	return nil
+}

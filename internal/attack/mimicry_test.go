@@ -1,0 +1,202 @@
+package attack
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+func taskByName(t *testing.T, tasks []*rtos.Task, name string) *rtos.Task {
+	t.Helper()
+	for _, tk := range tasks {
+		if tk.Name == name {
+			return tk
+		}
+	}
+	t.Fatalf("task %q not in set", name)
+	return nil
+}
+
+func jobStats(segs []rtos.Segment) (invocations int, total int64) {
+	for _, s := range segs {
+		total += s.Duration
+		if s.Kind == rtos.Syscall {
+			invocations += s.Invocations
+		}
+	}
+	return invocations, total
+}
+
+func TestMimicryAmplifiesHostSyscallsBudgetNeutral(t *testing.T) {
+	img := testImage(t)
+	cleanTasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infTasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Mimicry{StartAt: 200_000}
+	if err := m.Transform(infTasks); err != nil {
+		t.Fatal(err)
+	}
+	cleanHost := taskByName(t, cleanTasks, "sha")
+	infHost := taskByName(t, infTasks, "sha")
+
+	// Pre-event jobs are byte-identical (same rng stream).
+	const preIdx = 1 // release = 100 ms < StartAt
+	cleanPre := cleanHost.Behavior.NewJob(preIdx, rand.New(rand.NewSource(7)))
+	infPre := infHost.Behavior.NewJob(preIdx, rand.New(rand.NewSource(7)))
+	if len(cleanPre) != len(infPre) {
+		t.Fatalf("pre-event segment counts differ: %d vs %d", len(cleanPre), len(infPre))
+	}
+	for i := range cleanPre {
+		if cleanPre[i] != infPre[i] {
+			t.Fatalf("pre-event segment %d differs: %+v vs %+v", i, cleanPre[i], infPre[i])
+		}
+	}
+
+	// Post-event: ~1.5× the host's own syscall invocations, same services,
+	// near-unchanged total job duration (budget stolen from compute).
+	const postIdx = 5 // release = 500 ms ≥ StartAt
+	cleanJob := cleanHost.Behavior.NewJob(postIdx, rand.New(rand.NewSource(9)))
+	infJob := infHost.Behavior.NewJob(postIdx, rand.New(rand.NewSource(9)))
+	cleanInv, cleanTotal := jobStats(cleanJob)
+	infInv, infTotal := jobStats(infJob)
+	if infInv < cleanInv+cleanInv/3 {
+		t.Errorf("amplified invocations %d vs clean %d; want ≈1.5×", infInv, cleanInv)
+	}
+	if infTotal != cleanTotal {
+		t.Errorf("job total %d vs clean %d; mimicry must stay inside the budget", infTotal, cleanTotal)
+	}
+	services := map[string]bool{}
+	for _, s := range cleanJob {
+		if s.Kind == rtos.Syscall {
+			services[s.Service] = true
+		}
+	}
+	for _, s := range infJob {
+		if s.Kind == rtos.Syscall && !services[s.Service] {
+			t.Errorf("mimicry introduced foreign service %q", s.Service)
+		}
+	}
+}
+
+func TestMimicryValidation(t *testing.T) {
+	if err := (&Mimicry{StartAt: 0}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("zero StartAt: %v", err)
+	}
+	if err := (&Mimicry{StartAt: 10, Intensity: 9}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("excessive intensity: %v", err)
+	}
+	img := testImage(t)
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Mimicry{StartAt: 10, Host: "nope"}).Transform(tasks); !errors.Is(err, ErrScenario) {
+		t.Errorf("missing host: %v", err)
+	}
+}
+
+func TestSlowDriftRampsStolenTime(t *testing.T) {
+	img := testImage(t)
+	tasks, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := workload.PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := &SlowDrift{StartAt: 100_000, RampMicros: 1_000_000, MaxDelay: 40}
+	if err := sd.Transform(tasks); err != nil {
+		t.Fatal(err)
+	}
+	host := taskByName(t, tasks, "sha") // period 100 ms, read-heavy
+	base := taskByName(t, clean, "sha")
+
+	// stolenTime diffs the wrapped job against the clean one at the same
+	// seed: the implant adds pure unattributed compute, so the stolen
+	// per-read-invocation delay is (Δ total duration) / read invocations.
+	stolenTime := func(idx int64) (perInv int64, reads int) {
+		segs := host.Behavior.NewJob(idx, rand.New(rand.NewSource(3)))
+		ref := base.Behavior.NewJob(idx, rand.New(rand.NewSource(3)))
+		var dur, refDur int64
+		var inv int
+		for _, s := range segs {
+			dur += s.Duration
+			if s.Kind == rtos.Syscall && s.Service == kernelmap.SvcRead {
+				inv += s.Invocations
+			}
+			// No service events beyond the clean job's: the implant never
+			// crosses a recorded service boundary.
+			if s.Service == SvcDriftHook {
+				t.Fatalf("job %d: drift hook surfaced as a service event", idx)
+			}
+		}
+		for _, s := range ref {
+			refDur += s.Duration
+		}
+		if dur == refDur {
+			return 0, 0
+		}
+		return (dur - refDur) / int64(inv), inv
+	}
+
+	// Before StartAt: no stolen time at all.
+	if per, n := stolenTime(0); per != 0 || n != 0 {
+		t.Errorf("job 0 (release 0): stolen time present (%d µs × %d)", per, n)
+	}
+	// Just after StartAt the ramp is still below 1 µs: stealth window.
+	if per, n := stolenTime(1); per != 0 || n != 0 {
+		t.Errorf("job 1 (release 100 ms, elapsed 0): stole %d µs × %d, want none", per, n)
+	}
+	// Mid-ramp: about half the max delay.
+	perMid, nMid := stolenTime(6) // elapsed 500 ms of 1 s ramp
+	if nMid == 0 || perMid < 15 || perMid > 25 {
+		t.Errorf("mid-ramp per-invocation delay = %d µs (×%d), want ≈20", perMid, nMid)
+	}
+	// Past the ramp: full delay.
+	perEnd, nEnd := stolenTime(12) // elapsed 1.1 s
+	if nEnd == 0 || perEnd != 40 {
+		t.Errorf("post-ramp per-invocation delay = %d µs (×%d), want 40", perEnd, nEnd)
+	}
+}
+
+func TestSlowDriftValidationAndInstall(t *testing.T) {
+	if err := (&SlowDrift{StartAt: 0}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("zero StartAt: %v", err)
+	}
+	if err := (&SlowDrift{StartAt: 5, MaxDelay: -1}).Transform(nil); !errors.Is(err, ErrScenario) {
+		t.Errorf("negative delay: %v", err)
+	}
+	img := testImage(t)
+	sd := &SlowDrift{StartAt: 5}
+	if err := sd.Transform(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Install(nil, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.Service(SvcDriftHook); err != nil {
+		t.Errorf("drift hook not registered: %v", err)
+	}
+	// Idempotent: labs share images across runs.
+	if err := sd.Install(nil, img); err != nil {
+		t.Errorf("second Install: %v", err)
+	}
+}
+
+// Compile-time check: the workload-change scenarios satisfy the
+// Scenario contract structurally without workload importing attack.
+var (
+	_ Scenario = &workload.AppUpgrade{}
+	_ Scenario = &workload.PhaseShift{}
+	_ Scenario = &workload.TenantChurn{}
+)

@@ -1,0 +1,75 @@
+package attack
+
+import (
+	"fmt"
+
+	"github.com/memheatmap/mhm/internal/workload"
+)
+
+// Entry describes one catalogued scenario: how to build it for a given
+// event time plus the metadata the experiment matrix and the examples
+// report alongside results.
+type Entry struct {
+	// Name is the scenario's stable identifier (matches Scenario.Name()).
+	Name string
+	// Kind is "attack" for adversarial scenarios and "workload-change"
+	// for benign shifts whose flags are false positives.
+	Kind string
+	// Stealthy marks scenarios engineered to evade the per-interval MHM
+	// threshold (mimicry, slow-drift).
+	Stealthy bool
+	// Build constructs a fresh scenario whose disruptive event occurs at
+	// eventAt (µs). Scenarios are stateful across Transform/Install, so
+	// every run needs a fresh Build.
+	Build func(eventAt int64) Scenario
+}
+
+// Catalog returns every registered scenario, paper attacks first, in
+// the order the experiment matrix reports them.
+func Catalog() []Entry {
+	return []Entry{
+		{Name: "app-addition", Kind: "attack", Build: func(at int64) Scenario {
+			return &AppAddition{Spec: workload.QsortSpec(), LaunchAt: at}
+		}},
+		{Name: "shellcode", Kind: "attack", Build: func(at int64) Scenario {
+			return &Shellcode{Host: "bitcount", InjectAt: at}
+		}},
+		{Name: "rootkit-lkm", Kind: "attack", Build: func(at int64) Scenario {
+			return &RootkitLKM{LoadAt: at}
+		}},
+		{Name: "data-exfiltration", Kind: "attack", Build: func(at int64) Scenario {
+			return &DataExfiltration{StartAt: at}
+		}},
+		{Name: "fork-bomb", Kind: "attack", Build: func(at int64) Scenario {
+			return &ForkBomb{BurstAt: at}
+		}},
+		{Name: "mimicry", Kind: "attack", Stealthy: true, Build: func(at int64) Scenario {
+			return &Mimicry{StartAt: at}
+		}},
+		{Name: "slow-drift", Kind: "attack", Stealthy: true, Build: func(at int64) Scenario {
+			// A 4 s ramp keeps the per-interval displacement below θ_p for
+			// many hyperperiods — the regime where only cumulative (drift)
+			// statistics see the attack.
+			return &SlowDrift{StartAt: at, RampMicros: 4_000_000}
+		}},
+		{Name: "app-upgrade", Kind: "workload-change", Build: func(at int64) Scenario {
+			return &workload.AppUpgrade{SwitchAt: at}
+		}},
+		{Name: "phase-shift", Kind: "workload-change", Build: func(at int64) Scenario {
+			return &workload.PhaseShift{At: at}
+		}},
+		{Name: "tenant-churn", Kind: "workload-change", Build: func(at int64) Scenario {
+			return &workload.TenantChurn{StartAt: at}
+		}},
+	}
+}
+
+// Find returns the catalog entry with the given name.
+func Find(name string) (Entry, error) {
+	for _, e := range Catalog() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("attack: unknown scenario %q: %w", name, ErrScenario)
+}

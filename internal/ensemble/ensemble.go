@@ -1,0 +1,343 @@
+// Package ensemble fuses the two detection channels — the MHM density
+// detector (internal/core) and the syscall-frequency detector
+// (internal/syscalls) — into one anomaly score. Each channel's raw
+// score is a log-density-like value where lower means more anomalous;
+// fusion first standardizes both against their clean calibration
+// distributions (so a channel's z-score says "how many clean standard
+// deviations below normal"), then combines the z-scores with a max or
+// weighted-sum rule. Thresholds on the fused score are calibrated on
+// clean data, exactly like the single detectors' θ_p.
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/memheatmap/mhm/internal/stats"
+)
+
+// ErrConfig wraps invalid calibration inputs.
+var ErrConfig = errors.New("ensemble: invalid configuration")
+
+// Combiner selects the fusion rule.
+type Combiner int
+
+const (
+	// Max fuses by taking the strongest channel's evidence — the "any
+	// detector fires" rule.
+	Max Combiner = iota
+	// WeightedSum averages the channels' evidence with the fuser's
+	// weights — the "both detectors agree a little" rule.
+	WeightedSum
+)
+
+// String returns the combiner name used in reports.
+func (c Combiner) String() string {
+	switch c {
+	case Max:
+		return "ensemble-max"
+	case WeightedSum:
+		return "ensemble-wsum"
+	default:
+		return fmt.Sprintf("Combiner(%d)", int(c))
+	}
+}
+
+// zClamp bounds sanitized z-scores so ±Inf raw scores stay finite and
+// ordered instead of poisoning downstream sums.
+const zClamp = 1e6
+
+// Channel standardizes one detector's raw scores against its clean
+// calibration distribution.
+type Channel struct {
+	// Mean and Std describe the clean score distribution.
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+}
+
+// FitChannel estimates the clean distribution of a detector's scores.
+func FitChannel(clean []float64) (Channel, error) {
+	if len(clean) < 2 {
+		return Channel{}, fmt.Errorf("ensemble: %d clean scores: %w", len(clean), ErrConfig)
+	}
+	var w stats.Welford
+	for _, s := range clean {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			continue
+		}
+		w.Add(s)
+	}
+	if w.N() < 2 {
+		return Channel{}, fmt.Errorf("ensemble: fewer than 2 finite clean scores: %w", ErrConfig)
+	}
+	sd := w.StdDev()
+	if sd < 1e-9 {
+		sd = 1e-9
+	}
+	return Channel{Mean: w.Mean(), Std: sd}, nil
+}
+
+// Z converts a raw score (lower = more anomalous) into an anomaly
+// z-score (higher = more anomalous). NaN maps to 0 (no evidence);
+// ±Inf clamp to ∓zClamp, preserving monotonicity.
+func (c Channel) Z(score float64) float64 {
+	if math.IsNaN(score) {
+		return 0
+	}
+	std := c.Std
+	if !(std > 0) || math.IsNaN(std) || math.IsInf(std, 0) {
+		std = 1
+	}
+	z := (c.Mean - score) / std
+	if math.IsNaN(z) {
+		return 0
+	}
+	if z > zClamp {
+		return zClamp
+	}
+	if z < -zClamp {
+		return -zClamp
+	}
+	return z
+}
+
+// FuseMax combines two anomaly z-scores with the max rule. NaN inputs
+// contribute no evidence (treated as 0); the result is monotone
+// nondecreasing in each finite input.
+func FuseMax(z1, z2 float64) float64 {
+	z1, z2 = sanitizeZ(z1), sanitizeZ(z2)
+	if z1 > z2 {
+		return z1
+	}
+	return z2
+}
+
+// FuseWeighted combines two anomaly z-scores with the weighted-sum
+// rule. Non-positive or non-finite weights are replaced by equal
+// weights; the result is monotone nondecreasing in each finite input.
+func FuseWeighted(w1, z1, w2, z2 float64) float64 {
+	if !(w1 > 0) || !(w2 > 0) || math.IsInf(w1, 0) || math.IsInf(w2, 0) {
+		w1, w2 = 0.5, 0.5
+	}
+	s := w1 + w2
+	return (w1*sanitizeZ(z1) + w2*sanitizeZ(z2)) / s
+}
+
+// DriftK is the one-sided CUSUM drift allowance in channel-z units:
+// each interval the accumulator keeps only the evidence in excess of
+// DriftK, so mean-zero clean channel noise decays back to the floor
+// while a persistent positive shift — however small per interval —
+// integrates without bound. One clean standard deviation of allowance
+// pins the clean accumulator near zero (excursions need sustained >1σ
+// runs) yet still catches displacements far below any per-interval θ_p.
+const DriftK = 1.0
+
+// DriftCap winsorizes the accumulator's per-interval input. The clean
+// score distributions are heavy-tailed (a single clean interval can hit
+// 8σ), and an uncapped lone spike would take ~8 intervals to drain back
+// out of the accumulator, smearing one outlier — which the instant
+// channels already handle — across a whole stretch of clean intervals.
+// Capped at DriftCap, a spike contributes at most DriftCap−DriftK and
+// decays within two intervals; persistent shifts are unaffected.
+const DriftCap = 3.0
+
+// Cusum computes the one-sided CUSUM of an anomaly z-score series:
+// s[i] = max(0, s[i-1] + min(zs[i], DriftCap) − k), capped at zClamp.
+// This is the drift statistic behind FuseSeriesDrift: it trades a few
+// intervals of latency for sensitivity to sub-threshold persistent
+// displacement. A non-finite k falls back to DriftK.
+func Cusum(zs []float64, k float64) []float64 {
+	if math.IsNaN(k) || math.IsInf(k, 0) {
+		k = DriftK
+	}
+	out := make([]float64, len(zs))
+	s := 0.0
+	for i, z := range zs {
+		z = sanitizeZ(z)
+		if z > DriftCap {
+			z = DriftCap
+		}
+		s += z - k
+		if s < 0 {
+			s = 0
+		} else if s > zClamp {
+			s = zClamp
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// sanitizeZ maps NaN to 0 and clamps infinities so every fused score is
+// finite.
+func sanitizeZ(z float64) float64 {
+	if math.IsNaN(z) {
+		return 0
+	}
+	if z > zClamp {
+		return zClamp
+	}
+	if z < -zClamp {
+		return -zClamp
+	}
+	return z
+}
+
+// Threshold is one calibrated decision boundary on the fused anomaly
+// score: a fused score ABOVE Theta is anomalous at expected
+// false-positive rate P (note the flip relative to the log-density
+// channels — fused scores grow with anomaly strength).
+type Threshold struct {
+	P     float64 `json:"p"`
+	Theta float64 `json:"theta"`
+}
+
+// Fuser holds calibrated channels, weights and per-combiner thresholds.
+type Fuser struct {
+	MHM     Channel `json:"mhm"`
+	Syscall Channel `json:"syscall"`
+	// Weights are the weighted-sum combiner's (MHM, syscall) weights.
+	Weights [2]float64 `json:"weights"`
+	// DriftMHM and DriftSyscall hold the per-channel clean CUSUM
+	// calibrations. Each is fitted on the NEGATED clean drift values so
+	// Channel's lower-is-anomalous orientation applies (the CUSUM
+	// itself grows with anomaly strength); score with Z(−cusum). Keeping
+	// one accumulator per channel means noise on one channel never
+	// dilutes a slow ramp on the other.
+	DriftMHM     Channel `json:"drift_mhm"`
+	DriftSyscall Channel `json:"drift_syscall"`
+	// Thresholds maps each combiner to its calibrated boundaries,
+	// sorted by P ascending. They are placed on the drift-augmented
+	// statistic of FuseSeriesDrift.
+	Thresholds map[Combiner][]Threshold `json:"-"`
+}
+
+// Calibrate fits both channels on clean raw scores (paired per
+// interval), computes each combiner's fused clean distribution and its
+// CUSUM drift channel, and places upper-quantile thresholds on the
+// drift-augmented statistic: at p, a clean interval's FuseSeriesDrift
+// score exceeds θ with probability ≈ p.
+func Calibrate(cleanMHM, cleanSyscall []float64, quantiles []float64) (*Fuser, error) {
+	if len(cleanMHM) != len(cleanSyscall) {
+		return nil, fmt.Errorf("ensemble: %d MHM vs %d syscall clean scores: %w",
+			len(cleanMHM), len(cleanSyscall), ErrConfig)
+	}
+	mhm, err := FitChannel(cleanMHM)
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: MHM channel: %w", err)
+	}
+	sys, err := FitChannel(cleanSyscall)
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: syscall channel: %w", err)
+	}
+	f := &Fuser{
+		MHM:        mhm,
+		Syscall:    sys,
+		Weights:    [2]float64{0.5, 0.5},
+		Thresholds: map[Combiner][]Threshold{},
+	}
+	fitDrift := func(ch Channel, clean []float64) (Channel, error) {
+		zs := make([]float64, len(clean))
+		for i, s := range clean {
+			zs[i] = ch.Z(s)
+		}
+		cs := Cusum(zs, DriftK)
+		for i, c := range cs {
+			cs[i] = -c
+		}
+		return FitChannel(cs)
+	}
+	if f.DriftMHM, err = fitDrift(mhm, cleanMHM); err != nil {
+		return nil, fmt.Errorf("ensemble: MHM drift channel: %w", err)
+	}
+	if f.DriftSyscall, err = fitDrift(sys, cleanSyscall); err != nil {
+		return nil, fmt.Errorf("ensemble: syscall drift channel: %w", err)
+	}
+	for _, comb := range []Combiner{Max, WeightedSum} {
+		final, err := f.FuseSeriesDrift(comb, cleanMHM, cleanSyscall)
+		if err != nil {
+			return nil, err
+		}
+		var ths []Threshold
+		for _, p := range quantiles {
+			if p <= 0 || p >= 1 {
+				return nil, fmt.Errorf("ensemble: quantile %g out of (0,1): %w", p, ErrConfig)
+			}
+			theta, err := stats.Quantile(final, 1-p)
+			if err != nil {
+				return nil, err
+			}
+			ths = append(ths, Threshold{P: p, Theta: theta})
+		}
+		sort.Slice(ths, func(i, j int) bool { return ths[i].P < ths[j].P })
+		f.Thresholds[comb] = ths
+	}
+	return f, nil
+}
+
+// Fuse standardizes the two raw scores (lower = more anomalous) and
+// combines them; the result grows with anomaly strength.
+func (f *Fuser) Fuse(comb Combiner, mhmScore, syscallScore float64) float64 {
+	z1, z2 := f.MHM.Z(mhmScore), f.Syscall.Z(syscallScore)
+	if comb == WeightedSum {
+		return FuseWeighted(f.Weights[0], z1, f.Weights[1], z2)
+	}
+	return FuseMax(z1, z2)
+}
+
+// FuseSeries fuses paired score series.
+func (f *Fuser) FuseSeries(comb Combiner, mhmScores, syscallScores []float64) ([]float64, error) {
+	if len(mhmScores) != len(syscallScores) {
+		return nil, fmt.Errorf("ensemble: %d MHM vs %d syscall scores: %w",
+			len(mhmScores), len(syscallScores), ErrConfig)
+	}
+	out := make([]float64, len(mhmScores))
+	for i := range mhmScores {
+		out[i] = f.Fuse(comb, mhmScores[i], syscallScores[i])
+	}
+	return out, nil
+}
+
+// FuseSeriesDrift fuses paired score series and overlays the drift
+// evidence: out[i] = max(fused[i], drift[i]), where drift combines —
+// with the same combiner rule — the standardized per-channel CUSUM
+// accumulators. Calibrate places its thresholds on exactly this
+// statistic. A fuser without drift calibration returns the plain fused
+// series.
+func (f *Fuser) FuseSeriesDrift(comb Combiner, mhmScores, syscallScores []float64) ([]float64, error) {
+	fused, err := f.FuseSeries(comb, mhmScores, syscallScores)
+	if err != nil {
+		return nil, err
+	}
+	if !(f.DriftMHM.Std > 0) || !(f.DriftSyscall.Std > 0) {
+		return fused, nil
+	}
+	zm := make([]float64, len(mhmScores))
+	zs := make([]float64, len(syscallScores))
+	for i := range mhmScores {
+		zm[i] = f.MHM.Z(mhmScores[i])
+		zs[i] = f.Syscall.Z(syscallScores[i])
+	}
+	dm, ds := Cusum(zm, DriftK), Cusum(zs, DriftK)
+	for i := range fused {
+		zdm, zds := f.DriftMHM.Z(-dm[i]), f.DriftSyscall.Z(-ds[i])
+		drift := FuseMax(zdm, zds)
+		if comb == WeightedSum {
+			drift = FuseWeighted(f.Weights[0], zdm, f.Weights[1], zds)
+		}
+		fused[i] = FuseMax(fused[i], drift)
+	}
+	return fused, nil
+}
+
+// Threshold returns the combiner's θ_p.
+func (f *Fuser) Threshold(comb Combiner, p float64) (float64, error) {
+	for _, th := range f.Thresholds[comb] {
+		if th.P == p {
+			return th.Theta, nil
+		}
+	}
+	return 0, fmt.Errorf("ensemble: %s p=%g not calibrated: %w", comb, p, ErrConfig)
+}

@@ -1,0 +1,239 @@
+package ensemble
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFitChannelAndZ(t *testing.T) {
+	clean := []float64{-10, -12, -11, -9, -8, -10}
+	ch, err := FitChannel(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := ch.Z(ch.Mean); math.Abs(z) > 1e-12 {
+		t.Errorf("Z(mean) = %g, want 0", z)
+	}
+	// A much lower (more anomalous) score yields a large positive z.
+	if z := ch.Z(-100); z < 10 {
+		t.Errorf("Z(-100) = %g, want strongly positive", z)
+	}
+	// Orientation: lower score => higher z.
+	if ch.Z(-20) <= ch.Z(-5) {
+		t.Errorf("Z not monotone decreasing in score: Z(-20)=%g Z(-5)=%g", ch.Z(-20), ch.Z(-5))
+	}
+	// NaN carries no evidence; infinities clamp.
+	if z := ch.Z(math.NaN()); z != 0 {
+		t.Errorf("Z(NaN) = %g, want 0", z)
+	}
+	if z := ch.Z(math.Inf(-1)); z != zClamp {
+		t.Errorf("Z(-Inf) = %g, want %g", z, zClamp)
+	}
+	if z := ch.Z(math.Inf(1)); z != -zClamp {
+		t.Errorf("Z(+Inf) = %g, want %g", z, -zClamp)
+	}
+}
+
+func TestFitChannelValidation(t *testing.T) {
+	if _, err := FitChannel([]float64{1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("single score: got %v, want ErrConfig", err)
+	}
+	if _, err := FitChannel([]float64{math.NaN(), math.Inf(1), 3}); !errors.Is(err, ErrConfig) {
+		t.Errorf("non-finite scores: got %v, want ErrConfig", err)
+	}
+	// Degenerate (constant) clean scores still calibrate via the std floor.
+	ch, err := FitChannel([]float64{-5, -5, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(ch.Z(-6)) || math.IsInf(ch.Z(-6), 0) {
+		t.Errorf("degenerate channel produced non-finite z: %g", ch.Z(-6))
+	}
+}
+
+func TestFuseRules(t *testing.T) {
+	if got := FuseMax(1, 3); got != 3 {
+		t.Errorf("FuseMax(1,3) = %g", got)
+	}
+	if got := FuseMax(-2, -5); got != -2 {
+		t.Errorf("FuseMax(-2,-5) = %g", got)
+	}
+	if got := FuseWeighted(0.5, 2, 0.5, 4); math.Abs(got-3) > 1e-12 {
+		t.Errorf("FuseWeighted equal = %g, want 3", got)
+	}
+	if got := FuseWeighted(3, 2, 1, 4); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("FuseWeighted 3:1 = %g, want 2.5", got)
+	}
+	// Bad weights fall back to equal.
+	if got := FuseWeighted(-1, 2, 0, 4); math.Abs(got-3) > 1e-12 {
+		t.Errorf("FuseWeighted bad weights = %g, want 3", got)
+	}
+}
+
+func TestCalibrateAndThresholds(t *testing.T) {
+	n := 400
+	mhm := make([]float64, n)
+	sys := make([]float64, n)
+	for i := range mhm {
+		mhm[i] = -30 + 3*math.Sin(float64(i))
+		sys[i] = -1 + 0.2*math.Cos(float64(i)*1.7)
+	}
+	f, err := Calibrate(mhm, sys, []float64{0.01, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comb := range []Combiner{Max, WeightedSum} {
+		theta, err := f.Threshold(comb, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := f.FuseSeries(comb, mhm, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		over := 0
+		for _, s := range fused {
+			if s > theta {
+				over++
+			}
+		}
+		frac := float64(over) / float64(n)
+		if frac > 0.03 {
+			t.Errorf("%s: clean exceedance %.3f at p=0.01, want ≈0.01", comb, frac)
+		}
+		// A strongly anomalous pair must exceed θ.
+		if got := f.Fuse(comb, -300, -50); got <= theta {
+			t.Errorf("%s: anomalous fuse %.2f not above θ=%.2f", comb, got, theta)
+		}
+	}
+	if _, err := f.Threshold(Max, 0.5); !errors.Is(err, ErrConfig) {
+		t.Errorf("unknown quantile: got %v, want ErrConfig", err)
+	}
+	if _, err := Calibrate(mhm[:3], sys, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("length mismatch: got %v, want ErrConfig", err)
+	}
+	if _, err := Calibrate(mhm, sys, []float64{1.5}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad quantile: got %v, want ErrConfig", err)
+	}
+	if _, err := f.FuseSeries(Max, mhm[:2], sys); !errors.Is(err, ErrConfig) {
+		t.Errorf("series mismatch: got %v, want ErrConfig", err)
+	}
+}
+
+func TestCusum(t *testing.T) {
+	// Hand-computed: k=1, z = {2, 0, 0.5, 3, -10, 2}.
+	got := Cusum([]float64{2, 0, 0.5, 3, -10, 2}, 1)
+	want := []float64{1, 0, 0, 2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Cusum[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// NaN carries no evidence; ±Inf clamp; the accumulator stays in
+	// [0, zClamp].
+	vals := Cusum([]float64{math.NaN(), math.Inf(1), math.Inf(1), math.Inf(-1), math.NaN()}, 0.5)
+	for i, v := range vals {
+		if math.IsNaN(v) || v < 0 || v > zClamp {
+			t.Fatalf("Cusum[%d] = %g out of [0, zClamp]", i, v)
+		}
+	}
+	// A persistent shift just below a per-interval threshold integrates
+	// into an unbounded ramp.
+	sub := make([]float64, 50)
+	for i := range sub {
+		sub[i] = 1.5 // below a θ_0.01 z of ≈2.33, above DriftK
+	}
+	ramp := Cusum(sub, DriftK)
+	if ramp[len(ramp)-1] < 20 {
+		t.Errorf("sub-threshold shift accumulated only to %g", ramp[len(ramp)-1])
+	}
+	if bad := Cusum([]float64{5, 5}, math.NaN()); bad[1] <= bad[0] || math.IsNaN(bad[1]) {
+		t.Errorf("NaN allowance fallback: %v", bad)
+	}
+}
+
+func TestFuseSeriesDrift(t *testing.T) {
+	n := 400
+	mhm := make([]float64, n)
+	sys := make([]float64, n)
+	for i := range mhm {
+		mhm[i] = -30 + 3*math.Sin(float64(i))
+		sys[i] = -1 + 0.2*math.Cos(float64(i)*1.7)
+	}
+	f, err := Calibrate(mhm, sys, []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f.DriftMHM.Std > 0) || !(f.DriftSyscall.Std > 0) {
+		t.Fatalf("drift channels not calibrated: %+v / %+v", f.DriftMHM, f.DriftSyscall)
+	}
+	for _, comb := range []Combiner{Max, WeightedSum} {
+		theta, err := f.Threshold(comb, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Clean exceedance of the drift-augmented statistic ≈ p.
+		clean, err := f.FuseSeriesDrift(comb, mhm, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		over := 0
+		for _, s := range clean {
+			if s > theta {
+				over++
+			}
+		}
+		if frac := float64(over) / float64(n); frac > 0.03 {
+			t.Errorf("%s: clean drift exceedance %.3f at p=0.01", comb, frac)
+		}
+		// A sustained sub-threshold displacement on the syscall channel
+		// (too small for any single interval to flag) must eventually
+		// cross θ through the drift statistic.
+		drifted := append([]float64(nil), sys...)
+		for i := n / 2; i < n; i++ {
+			drifted[i] -= 0.25 // ≈1.8 clean σ: persistent but individually quiet
+		}
+		shifted, err := f.FuseSeriesDrift(comb, mhm, drifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossed := false
+		for i := n / 2; i < n; i++ {
+			if shifted[i] > theta {
+				crossed = true
+				break
+			}
+		}
+		if !crossed {
+			t.Errorf("%s: persistent sub-threshold shift never crossed θ=%.2f", comb, theta)
+		}
+		if _, err := f.FuseSeriesDrift(comb, mhm[:2], sys); !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: length mismatch: %v", comb, err)
+		}
+	}
+	// A fuser without drift calibration degrades to the plain series.
+	bare := &Fuser{MHM: f.MHM, Syscall: f.Syscall, Weights: [2]float64{0.5, 0.5}}
+	plain, err := bare.FuseSeriesDrift(Max, mhm, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bare.FuseSeries(Max, mhm, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if plain[i] != want[i] {
+			t.Fatalf("bare fuser drifted at %d: %g vs %g", i, plain[i], want[i])
+		}
+	}
+}
+
+func TestCombinerString(t *testing.T) {
+	if Max.String() != "ensemble-max" || WeightedSum.String() != "ensemble-wsum" {
+		t.Errorf("combiner names: %q %q", Max.String(), WeightedSum.String())
+	}
+	if Combiner(9).String() != "Combiner(9)" {
+		t.Errorf("unknown combiner: %q", Combiner(9).String())
+	}
+}

@@ -1,0 +1,81 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFuse feeds random score pairs — including ±Inf and NaN
+// log-densities — through a calibrated fuser and the raw combiner
+// rules. The combiner must never panic, always return a finite value,
+// and the max rule must be monotone in each input.
+func FuzzFuse(f *testing.F) {
+	f.Add(-30.0, -1.0, -29.0, -1.2, 0.5)
+	f.Add(math.Inf(-1), math.NaN(), 0.0, math.Inf(1), 2.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-1e308, 1e308, 5.0, -5.0, -3.0)
+
+	clean1 := []float64{-30, -31, -29, -32, -28, -30.5}
+	clean2 := []float64{-1, -1.2, -0.8, -1.1, -0.9, -1.05}
+	fuser, err := Calibrate(clean1, clean2, []float64{0.01})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, a, b, a2, b2, w float64) {
+		for _, comb := range []Combiner{Max, WeightedSum} {
+			got := fuser.Fuse(comb, a, b)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("%s(%g, %g) = %g, want finite", comb, a, b, got)
+			}
+			// The drift-augmented series stays finite for any score pair
+			// and any (possibly non-finite) allowance.
+			series, err := fuser.FuseSeriesDrift(comb, []float64{a, a2}, []float64{b, b2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range series {
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					t.Fatalf("%s drift series[%d] = %g, want finite", comb, i, s)
+				}
+			}
+		}
+		for i, c := range Cusum([]float64{a, b, a2, b2}, w) {
+			if math.IsNaN(c) || c < 0 || c > 1e6 {
+				t.Fatalf("Cusum[%d] = %g out of [0, 1e6]", i, c)
+			}
+		}
+		if got := FuseWeighted(w, fuser.MHM.Z(a), 1-w, fuser.Syscall.Z(b)); math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("FuseWeighted(%g, ...) = %g, want finite", w, got)
+		}
+
+		// Monotonicity of the max rule: on the z scale the fused output
+		// never decreases when either input increases; on the raw score
+		// scale it never decreases when either score decreases (scores
+		// are log-densities — lower means more anomalous). NaN inputs are
+		// excluded: NaN means "no evidence", not an ordered value.
+		z1, z2 := fuser.MHM.Z(a), fuser.Syscall.Z(b)
+		y1, y2 := fuser.MHM.Z(a2), fuser.Syscall.Z(b2)
+		base := FuseMax(z1, z2)
+		if y1 >= z1 {
+			if up := FuseMax(y1, z2); up < base {
+				t.Fatalf("FuseMax not monotone in z1: (%g,%g)=%g > (%g,%g)=%g", z1, z2, base, y1, z2, up)
+			}
+		}
+		if y2 >= z2 {
+			if up := FuseMax(z1, y2); up < base {
+				t.Fatalf("FuseMax not monotone in z2: (%g,%g)=%g > (%g,%g)=%g", z1, z2, base, z1, y2, up)
+			}
+		}
+		if !math.IsNaN(a) && !math.IsNaN(a2) && a2 <= a && !math.IsNaN(b) {
+			if fuser.Fuse(Max, a2, b) < fuser.Fuse(Max, a, b) {
+				t.Fatalf("Fuse(Max) not antitone in MHM score: score %g scored lower than %g", a2, a)
+			}
+		}
+		if !math.IsNaN(b) && !math.IsNaN(b2) && b2 <= b && !math.IsNaN(a) {
+			if fuser.Fuse(Max, a, b2) < fuser.Fuse(Max, a, b) {
+				t.Fatalf("Fuse(Max) not antitone in syscall score: score %g scored lower than %g", b2, b)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package kernelmap
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Linux/ARM loads kernel modules below the kernel image; the paper's
@@ -51,4 +52,27 @@ func (img *Image) RegisterModuleService(name string, offset uint64, ktime int64,
 	}
 	img.services[name] = svc
 	return svc, nil
+}
+
+// InModuleArea reports whether the service's code lives in the module
+// area rather than .text.
+func (s *Service) InModuleArea() bool {
+	return len(s.parts) > 0 && s.parts[0].fn.Addr >= ModuleBase
+}
+
+// BaseServiceNames returns the sorted names of services whose code lives
+// inside .text — the clean kernel's catalog, excluding module-area
+// registrations such as rootkit hooks. The syscall-frequency channel
+// uses this as its fixed vocabulary so that module-space executions fall
+// into the "other" bucket instead of earning buckets of their own.
+func (img *Image) BaseServiceNames() []string {
+	out := make([]string, 0, len(img.services))
+	for name, svc := range img.services {
+		if svc.InModuleArea() {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// AUC returns the Mann-Whitney estimate of the area under the ROC
+// curve: the probability that a randomly drawn positive score exceeds a
+// randomly drawn negative one, with ties counting half. Scores must be
+// oriented so that higher means more positive (more anomalous); 0.5 is
+// chance, 1.0 perfect separation. NaN scores are rejected — a detector
+// that emits them is broken, and silently dropping them would inflate
+// the estimate.
+func AUC(neg, pos []float64) (float64, error) {
+	if len(neg) == 0 || len(pos) == 0 {
+		return 0, fmt.Errorf("stats: AUC needs both classes (%d neg, %d pos): %w",
+			len(neg), len(pos), ErrEmpty)
+	}
+	for _, x := range neg {
+		if math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: AUC over NaN negative score: %w", ErrEmpty)
+		}
+	}
+	for _, x := range pos {
+		if math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: AUC over NaN positive score: %w", ErrEmpty)
+		}
+	}
+	// Pairwise count; the tie branch is reached exactly when neither
+	// ordering holds, avoiding float equality. The corpus sizes here are
+	// hundreds of intervals, so O(n·m) is immaterial.
+	wins := 0.0
+	for _, p := range pos {
+		for _, n := range neg {
+			if p > n {
+				wins++
+			} else if !(p < n) {
+				wins += 0.5
+			}
+		}
+	}
+	return wins / (float64(len(neg)) * float64(len(pos))), nil
+}

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	if a, err := AUC([]float64{1, 2, 3}, []float64{4, 5}); err != nil || a != 1 {
+		t.Errorf("perfect: %v, %v", a, err)
+	}
+	// Perfectly inverted.
+	if a, err := AUC([]float64{4, 5}, []float64{1, 2, 3}); err != nil || a != 0 {
+		t.Errorf("inverted: %v, %v", a, err)
+	}
+	// Identical distributions: chance.
+	if a, err := AUC([]float64{1, 2}, []float64{1, 2}); err != nil || math.Abs(a-0.5) > 1e-12 {
+		t.Errorf("chance: %v, %v", a, err)
+	}
+	// Hand-computed mix: neg={1,3}, pos={2,3}. Pairs: (2>1)=1, (2<3)=0,
+	// (3>1)=1, (3=3)=0.5 → 2.5/4.
+	if a, err := AUC([]float64{1, 3}, []float64{2, 3}); err != nil || math.Abs(a-0.625) > 1e-12 {
+		t.Errorf("mixed: %v, %v", a, err)
+	}
+	// ±Inf order correctly.
+	if a, err := AUC([]float64{math.Inf(-1), 0}, []float64{math.Inf(1)}); err != nil || a != 1 {
+		t.Errorf("inf: %v, %v", a, err)
+	}
+	if _, err := AUC(nil, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty neg: %v", err)
+	}
+	if _, err := AUC([]float64{1}, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty pos: %v", err)
+	}
+	if _, err := AUC([]float64{math.NaN()}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("NaN: %v", err)
+	}
+}

@@ -1,0 +1,228 @@
+package syscalls
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/rtos"
+)
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(nil, 10_000); !errors.Is(err, ErrConfig) {
+		t.Fatalf("empty vocab: got %v, want ErrConfig", err)
+	}
+	if _, err := NewRecorder([]string{"a"}, 0); !errors.Is(err, ErrConfig) {
+		t.Fatalf("zero interval: got %v, want ErrConfig", err)
+	}
+	if _, err := NewRecorder([]string{"", OtherBucket}, 10_000); !errors.Is(err, ErrConfig) {
+		t.Fatalf("unusable vocab: got %v, want ErrConfig", err)
+	}
+}
+
+func TestRecorderBucketsByInterval(t *testing.T) {
+	r, err := NewRecorder([]string{"sys_read", "sys_write"}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := func(svc string, inv int) rtos.Segment {
+		return rtos.Segment{Kind: rtos.Syscall, Service: svc, Invocations: inv}
+	}
+	// Interval 0: two full reads, one half-executed write.
+	r.OnSlice(nil, seg("sys_read", 2), 0, 1000, 0, 1)
+	r.OnSlice(nil, seg("sys_write", 2), 1000, 2000, 0, 0.25)
+	// Interval 1: the rest of the write, plus an out-of-vocabulary service.
+	r.OnSlice(nil, seg("sys_write", 2), 12_000, 13_000, 0.25, 1)
+	r.OnSlice(nil, seg("rootkit_hook", 3), 15_000, 15_100, 0, 1)
+	// Compute segments must not count.
+	r.OnSlice(nil, rtos.Segment{Kind: rtos.Compute, Duration: 500}, 16_000, 16_500, 0, 1)
+	samples := r.Finish(20_000)
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	names := r.Names()
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	if names[len(names)-1] != OtherBucket {
+		t.Fatalf("vocabulary %v does not end with %q", names, OtherBucket)
+	}
+	s0, s1 := samples[0], samples[1]
+	if got := s0.Counts[idx["sys_read"]]; math.Abs(got-2) > 1e-12 {
+		t.Errorf("interval 0 reads = %g, want 2", got)
+	}
+	if got := s0.Counts[idx["sys_write"]]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("interval 0 writes = %g, want 0.5", got)
+	}
+	if got := s1.Counts[idx["sys_write"]]; math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("interval 1 writes = %g, want 1.5", got)
+	}
+	if got := s1.Counts[idx[OtherBucket]]; math.Abs(got-3) > 1e-12 {
+		t.Errorf("interval 1 other = %g, want 3", got)
+	}
+	if s0.Start != 0 || s0.End != 10_000 || s1.Start != 10_000 || s1.End != 20_000 {
+		t.Errorf("sample bounds: %+v %+v", s0, s1)
+	}
+}
+
+func TestRecorderEmitsEmptyIntervals(t *testing.T) {
+	r, err := NewRecorder([]string{"sys_read"}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.OnTick(1000)
+	r.OnTick(45_000) // three intervals later
+	samples := r.Finish(50_000)
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples, want 5", len(samples))
+	}
+	// "sched_tick" is outside this vocabulary, so ticks land in "other".
+	var nonZero int
+	for _, s := range samples {
+		for _, c := range s.Counts {
+			if c > 0 {
+				nonZero++
+			}
+		}
+	}
+	if nonZero != 2 {
+		t.Errorf("non-zero buckets = %d, want 2 (one tick each in intervals 0 and 4)", nonZero)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	samples := []Sample{
+		{Start: 0, End: 10, Counts: []float64{4, 0}},
+		{Start: 10, End: 20, Counts: []float64{0, 2}},
+		{Start: 20, End: 30, Counts: []float64{2, 2}},
+	}
+	out, err := Smooth(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{4, 0}, {2, 1}, {1, 2}}
+	for i, s := range out {
+		for j := range s.Counts {
+			if math.Abs(s.Counts[j]-want[i][j]) > 1e-12 {
+				t.Errorf("smooth[%d][%d] = %g, want %g", i, j, s.Counts[j], want[i][j])
+			}
+		}
+	}
+	if out[1].Start != 0 || out[1].End != 20 {
+		t.Errorf("smooth[1] bounds = [%d,%d), want [0,20)", out[1].Start, out[1].End)
+	}
+	if _, err := Smooth(samples, 0); !errors.Is(err, ErrConfig) {
+		t.Fatalf("window 0: got %v, want ErrConfig", err)
+	}
+}
+
+// synthetic returns n samples with reads ~ baseline plus optional extra.
+func synthetic(n int, seedOff, extra float64) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		// Deterministic wobble standing in for schedule-phase variance.
+		wobble := 2 * math.Sin(float64(i)+seedOff)
+		out[i] = Sample{
+			Start:  int64(i) * 10_000,
+			End:    int64(i+1) * 10_000,
+			Counts: []float64{40 + wobble + extra, 10 + wobble/2, 0},
+		}
+	}
+	return out
+}
+
+func TestDetectorSeparatesShiftedFrequencies(t *testing.T) {
+	names := []string{"sys_read", "sys_write", OtherBucket}
+	det, err := Train(names, synthetic(200, 0, 0), synthetic(100, 1, 0), []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanScores, err := det.ScoreSeries(synthetic(50, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotScores, err := det.ScoreSeries(synthetic(50, 3, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanClean, meanHot := 0.0, 0.0
+	for i := range cleanScores {
+		meanClean += cleanScores[i]
+		meanHot += hotScores[i]
+	}
+	meanClean /= float64(len(cleanScores))
+	meanHot /= float64(len(hotScores))
+	if meanHot >= meanClean {
+		t.Errorf("shifted-frequency mean score %.3f not below clean %.3f", meanHot, meanClean)
+	}
+	theta, err := det.Threshold(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := 0
+	for _, s := range hotScores {
+		if s < theta {
+			flagged++
+		}
+	}
+	if flagged < len(hotScores)/2 {
+		t.Errorf("only %d/%d shifted samples below θ", flagged, len(hotScores))
+	}
+}
+
+func TestDetectorOtherBucketIsSharp(t *testing.T) {
+	names := []string{"sys_read", "sys_write", OtherBucket}
+	det, err := Train(names, synthetic(200, 0, 0), synthetic(100, 1, 0), []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := synthetic(1, 4, 0)[0]
+	base, err := det.Score(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Counts[2] = 5 // rootkit-hook-style out-of-vocabulary executions
+	hooked, err := det.Score(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooked >= base {
+		t.Errorf("other-bucket activity score %.3f not below clean %.3f", hooked, base)
+	}
+	theta, err := det.Threshold(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooked >= theta {
+		t.Errorf("other-bucket activity score %.3f not below θ=%.3f", hooked, theta)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	names := []string{"a", OtherBucket}
+	good := []Sample{{Counts: []float64{1, 0}}, {Counts: []float64{2, 0}}}
+	if _, err := Train(names, good[:1], good, []float64{0.01}); !errors.Is(err, ErrConfig) {
+		t.Errorf("tiny training set: got %v, want ErrConfig", err)
+	}
+	if _, err := Train(names, good, nil, []float64{0.01}); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty calib: got %v, want ErrConfig", err)
+	}
+	if _, err := Train(names, good, good, []float64{2}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad quantile: got %v, want ErrConfig", err)
+	}
+	bad := []Sample{{Counts: []float64{1}}, {Counts: []float64{2}}}
+	if _, err := Train(names, bad, good, []float64{0.01}); !errors.Is(err, ErrVocabMismatch) {
+		t.Errorf("mismatched sample: got %v, want ErrVocabMismatch", err)
+	}
+	det, err := Train(names, good, good, []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Score(Sample{Counts: []float64{1}}); !errors.Is(err, ErrVocabMismatch) {
+		t.Errorf("score mismatch: got %v, want ErrVocabMismatch", err)
+	}
+	if _, err := det.Threshold(0.5); !errors.Is(err, ErrConfig) {
+		t.Errorf("unknown quantile: got %v, want ErrConfig", err)
+	}
+}

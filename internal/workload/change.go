@@ -1,0 +1,218 @@
+// Workload-change scenarios: legitimate behaviour shifts that a
+// deployed detector must ride out (or be recalibrated for). They
+// implement the attack.Scenario contract structurally — Name /
+// Transform / Install — but model no adversary: an application upgrade,
+// a schedule phase shift after a resync, and container-style
+// multi-tenant churn per the Linux-container IDS line of work. The
+// scenario matrix (internal/experiments) reports their false-positive
+// rates at the calibrated θ_p.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+)
+
+// AppUpgrade models a routine software update of one task: from
+// SwitchAt on, every EveryJobs-th job additionally re-reads its
+// configuration (open + read + close) and the compute core runs
+// slightly longer — a new feature, not an attack. The kernel services
+// involved are all in the clean vocabulary; only their frequency and
+// timing shift mildly.
+type AppUpgrade struct {
+	// Task is the upgraded application (default "FFT").
+	Task string
+	// SwitchAt is the moment the new version takes over.
+	SwitchAt int64
+	// EveryJobs is the config-reload period in jobs (default 8).
+	EveryJobs int64
+}
+
+// Name implements the attack.Scenario contract.
+func (u *AppUpgrade) Name() string { return "app-upgrade" }
+
+// Transform implements the attack.Scenario contract.
+func (u *AppUpgrade) Transform(tasks []*rtos.Task) error {
+	if u.SwitchAt <= 0 {
+		return fmt.Errorf("workload: app upgrade SwitchAt=%d: %w", u.SwitchAt, ErrSpec)
+	}
+	if u.Task == "" {
+		u.Task = "FFT"
+	}
+	if u.EveryJobs == 0 {
+		u.EveryJobs = 8
+	}
+	if u.EveryJobs < 0 {
+		return fmt.Errorf("workload: app upgrade EveryJobs=%d: %w", u.EveryJobs, ErrSpec)
+	}
+	for _, t := range tasks {
+		if t.Name != u.Task {
+			continue
+		}
+		base := t.Behavior
+		period, phase, switchAt, every := t.Period, t.Phase, u.SwitchAt, u.EveryJobs
+		t.Behavior = rtos.BehaviorFunc(func(idx int64, rng *rand.Rand) []rtos.Segment {
+			segs := base.NewJob(idx, rng)
+			if phase+idx*period < switchAt {
+				return segs
+			}
+			out := make([]rtos.Segment, 0, len(segs)+3)
+			out = append(out, segs...)
+			// v2 runs its compute ~2% longer (new feature path).
+			for i, seg := range out {
+				if seg.Kind == rtos.Compute {
+					out[i].Duration += seg.Duration / 50
+				}
+			}
+			if idx%every == 0 {
+				out = append(out,
+					rtos.Segment{Kind: rtos.Syscall, Duration: 30, Service: kernelmap.SvcOpen, Invocations: 1},
+					rtos.Segment{Kind: rtos.Syscall, Duration: 18, Service: kernelmap.SvcRead, Invocations: 1},
+					rtos.Segment{Kind: rtos.Syscall, Duration: 10, Service: kernelmap.SvcClose, Invocations: 1},
+				)
+			}
+			return out
+		})
+		return nil
+	}
+	return fmt.Errorf("workload: app upgrade task %q not in task set: %w", u.Task, ErrSpec)
+}
+
+// Install implements the attack.Scenario contract; the behaviour wrap
+// does all the work.
+func (u *AppUpgrade) Install(*rtos.Scheduler, *kernelmap.Image) error { return nil }
+
+// PhaseShift models a schedule resynchronization — a mode change or
+// clock adjustment that stops every periodic task at At and restarts it
+// with a new, staggered phase. Task behaviour is bit-for-bit identical;
+// only the alignment of jobs to monitoring intervals changes.
+type PhaseShift struct {
+	// At is the resync time.
+	At int64
+	// DeltaMicros staggers the restarts: task i restarts at
+	// At + (i+1)·DeltaMicros (default 3000).
+	DeltaMicros int64
+
+	tasks []*rtos.Task
+}
+
+// Name implements the attack.Scenario contract.
+func (p *PhaseShift) Name() string { return "phase-shift" }
+
+// Transform implements the attack.Scenario contract: it only records
+// the task set for Install.
+func (p *PhaseShift) Transform(tasks []*rtos.Task) error {
+	if p.At <= 0 {
+		return fmt.Errorf("workload: phase shift At=%d: %w", p.At, ErrSpec)
+	}
+	if p.DeltaMicros == 0 {
+		p.DeltaMicros = 3000
+	}
+	if p.DeltaMicros < 0 {
+		return fmt.Errorf("workload: phase shift DeltaMicros=%d: %w", p.DeltaMicros, ErrSpec)
+	}
+	if len(tasks) == 0 {
+		return fmt.Errorf("workload: phase shift over empty task set: %w", ErrSpec)
+	}
+	p.tasks = tasks
+	return nil
+}
+
+// Install implements the attack.Scenario contract: each task is removed
+// at At and re-added with a staggered restart.
+func (p *PhaseShift) Install(sched *rtos.Scheduler, img *kernelmap.Image) error {
+	if len(p.tasks) == 0 {
+		return fmt.Errorf("workload: phase shift Install before Transform: %w", ErrSpec)
+	}
+	for i, t := range p.tasks {
+		if err := sched.RemoveTaskAt(p.At, t.Name); err != nil {
+			return err
+		}
+		restart := *t
+		restart.Phase = 0
+		if err := sched.AddTaskAt(p.At+int64(i+1)*p.DeltaMicros, &restart); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TenantChurn models container-style multi-tenant operation: every
+// PeriodMicros a new benign tenant application (drawn round-robin from
+// the alternate task set) is launched — fork + execve, like any process
+// start — runs for three quarters of the period, and exits. The host's
+// "normal" is therefore a moving target, the central false-positive
+// problem of the container IDS literature.
+type TenantChurn struct {
+	// StartAt is the first tenant launch.
+	StartAt int64
+	// PeriodMicros separates consecutive launches (default 400,000).
+	PeriodMicros int64
+	// Tenants is the number of launches (default 4).
+	Tenants int
+}
+
+// Name implements the attack.Scenario contract.
+func (c *TenantChurn) Name() string { return "tenant-churn" }
+
+// Transform implements the attack.Scenario contract.
+func (c *TenantChurn) Transform([]*rtos.Task) error {
+	if c.StartAt <= 0 {
+		return fmt.Errorf("workload: tenant churn StartAt=%d: %w", c.StartAt, ErrSpec)
+	}
+	if c.PeriodMicros == 0 {
+		c.PeriodMicros = 400_000
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.PeriodMicros <= 0 || c.Tenants < 0 {
+		return fmt.Errorf("workload: tenant churn Period=%d Tenants=%d: %w",
+			c.PeriodMicros, c.Tenants, ErrSpec)
+	}
+	return nil
+}
+
+// tenantSpecs are the small alternate-set applications cycled through
+// by the churn; the heavier ones would not fit the paper task set's
+// remaining utilization.
+func tenantSpecs() []AppSpec { return []AppSpec{CRC32Spec(), PatriciaSpec()} }
+
+// Install implements the attack.Scenario contract.
+func (c *TenantChurn) Install(sched *rtos.Scheduler, img *kernelmap.Image) error {
+	specs := tenantSpecs()
+	launchSegs := []rtos.Segment{
+		{Kind: rtos.Syscall, Duration: 120, Service: kernelmap.SvcFork, Invocations: 1},
+		{Kind: rtos.Syscall, Duration: 200, Service: kernelmap.SvcExec, Invocations: 1},
+	}
+	exitSegs := []rtos.Segment{
+		{Kind: rtos.Syscall, Duration: 80, Service: kernelmap.SvcExit, Invocations: 1},
+	}
+	for k := 0; k < c.Tenants; k++ {
+		spec := specs[k%len(specs)]
+		spec.Name = fmt.Sprintf("%s-t%d", spec.Name, k)
+		spec.Seed += int64(1000 + k)
+		task, err := BuildTask(img, spec)
+		if err != nil {
+			return err
+		}
+		launchAt := c.StartAt + int64(k)*c.PeriodMicros
+		exitAt := launchAt + c.PeriodMicros*3/4
+		if err := sched.SpawnOneShotAt(launchAt, spec.Name+"-launcher", launchSegs); err != nil {
+			return err
+		}
+		if err := sched.AddTaskAt(launchAt, task); err != nil {
+			return err
+		}
+		if err := sched.RemoveTaskAt(exitAt, task.Name); err != nil {
+			return err
+		}
+		if err := sched.SpawnOneShotAt(exitAt, spec.Name+"-reaper", exitSegs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

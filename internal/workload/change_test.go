@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/kernelmap"
+	"github.com/memheatmap/mhm/internal/rtos"
+)
+
+func changeTestTasks(t *testing.T) (*kernelmap.Image, []*rtos.Task) {
+	t.Helper()
+	img, err := kernelmap.NewImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := PaperTaskSet(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, tasks
+}
+
+func TestAppUpgradeReloadsConfigPeriodically(t *testing.T) {
+	_, tasks := changeTestTasks(t)
+	u := &AppUpgrade{SwitchAt: 100_000, EveryJobs: 4}
+	if err := u.Transform(tasks); err != nil {
+		t.Fatal(err)
+	}
+	var fft *rtos.Task
+	for _, tk := range tasks {
+		if tk.Name == "FFT" {
+			fft = tk
+		}
+	}
+	if fft == nil {
+		t.Fatal("FFT not in paper task set")
+	}
+	countSvc := func(segs []rtos.Segment, svc string) int {
+		n := 0
+		for _, s := range segs {
+			if s.Service == svc {
+				n += s.Invocations
+			}
+		}
+		return n
+	}
+	// FFT period 10 ms: idx 12 (release 120 ms ≥ SwitchAt) is a reload
+	// job (12 % 4 == 0); idx 13 is not; idx 1 predates the switch.
+	pre := fft.Behavior.NewJob(1, rand.New(rand.NewSource(2)))
+	reload := fft.Behavior.NewJob(12, rand.New(rand.NewSource(2)))
+	plain := fft.Behavior.NewJob(13, rand.New(rand.NewSource(2)))
+	if n := countSvc(reload, kernelmap.SvcOpen); n < 1 {
+		t.Errorf("reload job has %d opens, want ≥ 1", n)
+	}
+	if countSvc(plain, kernelmap.SvcOpen) != countSvc(pre, kernelmap.SvcOpen) {
+		t.Errorf("non-reload post-switch job changed its open count")
+	}
+}
+
+func TestAppUpgradeValidation(t *testing.T) {
+	if err := (&AppUpgrade{SwitchAt: 0}).Transform(nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("zero SwitchAt: %v", err)
+	}
+	if err := (&AppUpgrade{SwitchAt: 5, EveryJobs: -1}).Transform(nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("negative EveryJobs: %v", err)
+	}
+	_, tasks := changeTestTasks(t)
+	if err := (&AppUpgrade{SwitchAt: 5, Task: "nope"}).Transform(tasks); !errors.Is(err, ErrSpec) {
+		t.Errorf("missing task: %v", err)
+	}
+}
+
+func TestPhaseShiftValidation(t *testing.T) {
+	if err := (&PhaseShift{At: 0}).Transform(nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("zero At: %v", err)
+	}
+	if err := (&PhaseShift{At: 5}).Transform(nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("empty task set: %v", err)
+	}
+	if err := (&PhaseShift{At: 5, DeltaMicros: -1}).Transform(nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("negative delta: %v", err)
+	}
+	p := &PhaseShift{At: 5}
+	if err := p.Install(nil, nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("Install before Transform: %v", err)
+	}
+	_, tasks := changeTestTasks(t)
+	if err := p.Transform(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if p.DeltaMicros != 3000 {
+		t.Errorf("default DeltaMicros = %d, want 3000", p.DeltaMicros)
+	}
+}
+
+func TestTenantChurnValidationAndDefaults(t *testing.T) {
+	if err := (&TenantChurn{StartAt: 0}).Transform(nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("zero StartAt: %v", err)
+	}
+	if err := (&TenantChurn{StartAt: 5, Tenants: -1}).Transform(nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("negative tenants: %v", err)
+	}
+	c := &TenantChurn{StartAt: 5}
+	if err := c.Transform(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.PeriodMicros != 400_000 || c.Tenants != 4 {
+		t.Errorf("defaults = (%d, %d), want (400000, 4)", c.PeriodMicros, c.Tenants)
+	}
+}

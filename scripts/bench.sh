@@ -16,6 +16,13 @@
 # enforced only on multi-core runners (serial and parallel are
 # bit-identical, so a single-core machine legitimately shows 1.0x).
 #
+# Scenarios: runs the full scenario × detector matrix at medium scale
+# (mhmreport -exp scenarios) and writes BENCH_scenarios.json — the
+# repo's detection-quality baseline (per-scenario AUC, detection latency
+# and false-positive rates). Bar: on the stealthy scenarios (mimicry,
+# slow-drift) the best ensemble AUC must not fall below the best single
+# detector — otherwise the fusion layer is dead weight.
+#
 # Usage: scripts/bench.sh [count] [benchtime]
 #   count     repetitions per benchmark for the median (default 3)
 #   benchtime go test -benchtime value (default 2s; use 10x for a smoke run)
@@ -142,3 +149,37 @@ END {
 echo
 echo "wrote $TRAIN_OUT:"
 cat "$TRAIN_OUT"
+
+# --------------------------------------------------------------- scenarios
+
+SCEN_OUT="BENCH_scenarios.json"
+go run ./cmd/mhmreport -exp scenarios -scale medium -seed 1 -json "$SCEN_OUT"
+
+awk '
+/"scenario":/ { gsub(/[",]/, "", $2); scen = $2 }
+/"detector":/ { gsub(/[",]/, "", $2); det = $2 }
+/"auc":/ {
+    gsub(/,/, "", $2)
+    auc[scen "/" det] = $2 + 0
+}
+END {
+    fail = 0
+    n = split("mimicry slow-drift", stealthy, " ")
+    for (i = 1; i <= n; i++) {
+        s = stealthy[i]
+        single = auc[s "/mhm"]
+        if (auc[s "/syscall"] > single) single = auc[s "/syscall"]
+        ens = auc[s "/ensemble-max"]
+        if (auc[s "/ensemble-wsum"] > ens) ens = auc[s "/ensemble-wsum"]
+        printf "scenarios: %-11s best single AUC %.3f, best ensemble AUC %.3f\n", s, single, ens
+        if (ens < single) {
+            printf "bench.sh: ensemble AUC %.3f below best single %.3f on %s\n", ens, single, s > "/dev/stderr"
+            fail = 1
+        }
+    }
+    exit fail
+}
+' "$SCEN_OUT"
+
+echo
+echo "wrote $SCEN_OUT"
