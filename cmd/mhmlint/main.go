@@ -1,12 +1,13 @@
 // Command mhmlint runs the repository's static-analysis suite
 // (internal/lint) over package patterns, go-vet style:
 //
-//	mhmlint [-json] [-only a,b] [-disable a,b] [-list] ./...
+//	mhmlint [-json] [-sarif] [-only a,b] [-disable a,b] [-list] ./...
 //
-// Analyzers: atomicfield, nilreceiver, hotpath, floateq, errdrop — each
-// enforcing one of the invariants in DESIGN.md "Enforced invariants".
-// Findings are suppressed with `//mhmlint:ignore <analyzer> <reason>` on
-// the offending line or the line above.
+// Analyzers: atomicfield, nilreceiver, hotpath, floateq, errdrop,
+// detorder, lockorder, goleak — each enforcing one of the invariants in
+// DESIGN.md "Enforced invariants". Findings are suppressed with
+// `//mhmlint:ignore <analyzer> <reason>` on the offending line or the
+// line above. -sarif emits SARIF 2.1.0 for CI annotation uploads.
 //
 // Exit status: 0 clean, 1 findings reported, 2 usage or load error.
 package main
@@ -40,11 +41,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mhmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	fs.Usage = func() {
-		fprintf(stderr, "usage: mhmlint [-json] [-only a,b] [-disable a,b] [-list] packages...\n")
+		fprintf(stderr, "usage: mhmlint [-json] [-sarif] [-only a,b] [-disable a,b] [-list] packages...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -80,7 +82,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	diags := lint.RunAnalyzers(prog, selected)
 
-	if *jsonOut {
+	switch {
+	case *sarifOut && *jsonOut:
+		fprintf(stderr, "mhmlint: -json and -sarif are mutually exclusive\n")
+		return 2
+	case *sarifOut:
+		if err := lint.WriteSARIF(stdout, prog.Root, selected, diags); err != nil {
+			fprintf(stderr, "mhmlint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		findings := make([]jsonFinding, 0, len(diags))
 		for _, d := range diags {
 			findings = append(findings, jsonFinding{
@@ -99,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fprintf(stderr, "mhmlint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fprintf(stdout, "%s:%d:%d: %s: %s\n",
 				relTo(prog.Root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)

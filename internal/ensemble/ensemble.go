@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/memheatmap/mhm/internal/mat"
 	"github.com/memheatmap/mhm/internal/stats"
 )
 
@@ -148,6 +149,8 @@ const DriftCap = 3.0
 // This is the drift statistic behind FuseSeriesDrift: it trades a few
 // intervals of latency for sensitivity to sub-threshold persistent
 // displacement. A non-finite k falls back to DriftK.
+//
+//mhm:deterministic
 func Cusum(zs []float64, k float64) []float64 {
 	if math.IsNaN(k) || math.IsInf(k, 0) {
 		k = DriftK
@@ -219,6 +222,8 @@ type Fuser struct {
 // CUSUM drift channel, and places upper-quantile thresholds on the
 // drift-augmented statistic: at p, a clean interval's FuseSeriesDrift
 // score exceeds θ with probability ≈ p.
+//
+//mhm:deterministic
 func Calibrate(cleanMHM, cleanSyscall []float64, quantiles []float64) (*Fuser, error) {
 	if len(cleanMHM) != len(cleanSyscall) {
 		return nil, fmt.Errorf("ensemble: %d MHM vs %d syscall clean scores: %w",
@@ -279,6 +284,8 @@ func Calibrate(cleanMHM, cleanSyscall []float64, quantiles []float64) (*Fuser, e
 
 // Fuse standardizes the two raw scores (lower = more anomalous) and
 // combines them; the result grows with anomaly strength.
+//
+//mhm:deterministic
 func (f *Fuser) Fuse(comb Combiner, mhmScore, syscallScore float64) float64 {
 	z1, z2 := f.MHM.Z(mhmScore), f.Syscall.Z(syscallScore)
 	if comb == WeightedSum {
@@ -288,6 +295,8 @@ func (f *Fuser) Fuse(comb Combiner, mhmScore, syscallScore float64) float64 {
 }
 
 // FuseSeries fuses paired score series.
+//
+//mhm:deterministic
 func (f *Fuser) FuseSeries(comb Combiner, mhmScores, syscallScores []float64) ([]float64, error) {
 	if len(mhmScores) != len(syscallScores) {
 		return nil, fmt.Errorf("ensemble: %d MHM vs %d syscall scores: %w",
@@ -306,6 +315,8 @@ func (f *Fuser) FuseSeries(comb Combiner, mhmScores, syscallScores []float64) ([
 // accumulators. Calibrate places its thresholds on exactly this
 // statistic. A fuser without drift calibration returns the plain fused
 // series.
+//
+//mhm:deterministic
 func (f *Fuser) FuseSeriesDrift(comb Combiner, mhmScores, syscallScores []float64) ([]float64, error) {
 	fused, err := f.FuseSeries(comb, mhmScores, syscallScores)
 	if err != nil {
@@ -332,10 +343,16 @@ func (f *Fuser) FuseSeriesDrift(comb Combiner, mhmScores, syscallScores []float6
 	return fused, nil
 }
 
-// Threshold returns the combiner's θ_p.
+// quantileTol matches threshold quantile labels: p values arrive
+// through flag parsing and JSON round-trips, so exact float equality
+// would miss a calibrated 0.995.
+const quantileTol = 1e-9
+
+// Threshold returns the combiner's θ_p. Quantile labels are matched
+// within quantileTol.
 func (f *Fuser) Threshold(comb Combiner, p float64) (float64, error) {
 	for _, th := range f.Thresholds[comb] {
-		if th.P == p {
+		if mat.EqTol(th.P, p, quantileTol) {
 			return th.Theta, nil
 		}
 	}

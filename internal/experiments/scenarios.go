@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"github.com/memheatmap/mhm/internal/attack"
@@ -64,7 +65,11 @@ type ScenarioCell struct {
 // ScenarioMatrix is the full per-scenario ROC/latency/false-positive
 // report across all catalogued scenarios and all detectors.
 type ScenarioMatrix struct {
-	Config    MatrixConfig   `json:"config"`
+	Config MatrixConfig `json:"config"`
+	// CPUs is runtime.NumCPU() on the machine that produced the matrix:
+	// detection numbers are machine-independent, but wall-time comparisons
+	// against this baseline are only meaningful at a known core count.
+	CPUs      int            `json:"cpus"`
 	Detectors []string       `json:"detectors"`
 	Cells     []ScenarioCell `json:"cells"`
 }
@@ -364,7 +369,7 @@ func (l *Lab) Scenarios(seedBase int64, cfg MatrixConfig) (*ScenarioMatrix, erro
 	iv := l.Scale.IntervalMicros
 	eventAt := int64(cfg.EventIv)*iv + iv/2
 	horizon := int64(cfg.HorizonIv) * iv
-	matrix := &ScenarioMatrix{Config: cfg, Detectors: append([]string(nil), matrixDetectors...)}
+	matrix := &ScenarioMatrix{Config: cfg, CPUs: runtime.NumCPU(), Detectors: append([]string(nil), matrixDetectors...)}
 	for i, e := range attack.Catalog() {
 		sc := e.Build(eventAt)
 		maps, samples, err := l.CollectObserved(sc, seedBase+int64(l.Scale.TrainRuns)+10+int64(i), horizon)

@@ -71,6 +71,8 @@ func (m *Model) Dim() int {
 
 // LogProb returns ln Pr(x) = ln Σ_j λ_j f(x | µ_j, Σ_j), the quantity the
 // paper's figures plot (log probability density of an MHM).
+//
+//mhm:deterministic
 func (m *Model) LogProb(x []float64) (float64, error) {
 	if len(m.Components) == 0 {
 		return 0, fmt.Errorf("gmm: empty model: %w", ErrTraining)
@@ -179,6 +181,8 @@ func (o *Options) fill() error {
 
 // Train fits a mixture to data by EM with k-means++ style seeding,
 // returning the restart with the highest training log-likelihood.
+//
+//mhm:deterministic
 func Train(data [][]float64, opts Options) (*Model, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err

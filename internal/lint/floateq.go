@@ -15,7 +15,7 @@ import (
 
 // FloatEqScope lists the import-path suffixes (whole trailing segments)
 // the floateq analyzer applies to.
-var FloatEqScope = []string{"gmm", "pca", "stats", "score", "train"}
+var FloatEqScope = []string{"gmm", "pca", "stats", "score", "train", "ensemble", "syscalls"}
 
 // FloatEqAnalyzer returns the floateq analyzer.
 func FloatEqAnalyzer() *Analyzer {

@@ -1,0 +1,320 @@
+// The goleak analyzer keeps goroutine lifetimes bounded and dispatch
+// closures race-free. A monitor that must run for months cannot shed
+// goroutines: every `go` launch needs a join — a WaitGroup the module
+// waits on, a channel whose other end is drained or closed, or a
+// context-cancel path. And a dispatch closure that captures loop state
+// by reference instead of taking it as an argument races against the
+// next iteration — the bug class the train/gmm/mat dispatchers avoid
+// with the `go func(w int) {...}(w)` idiom.
+//
+// Join evidence, resolved module-wide on the object identity of the
+// WaitGroup/channel (a local, a package var, or a struct field):
+//
+//   - the goroutine body calls wg.Done() and somewhere the module calls
+//     wg.Wait() on the same WaitGroup;
+//   - the body sends on a channel that the module receives from;
+//   - the body receives from (or ranges over) a channel that the module
+//     closes or sends on;
+//   - the body waits on a context's Done() channel.
+//
+// Goroutines launched through func values or interface methods are not
+// resolvable statically and are skipped; the caller vouches for them.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeakAnalyzer returns the goleak analyzer.
+func GoLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goleak",
+		Doc:  "goroutines need a WaitGroup/channel join or context-cancel path; dispatch closures must not capture loop state",
+		Run:  goleakRun,
+	}
+}
+
+// joinFacts is the module-wide evidence base.
+type joinFacts struct {
+	waited   map[types.Object]bool // WaitGroups with a .Wait() call
+	received map[types.Object]bool // channels somebody receives from / ranges over
+	closed   map[types.Object]bool // channels somebody closes
+	sent     map[types.Object]bool // channels somebody sends on
+}
+
+func goleakRun(prog *Program) []Diagnostic {
+	facts := gatherJoinFacts(prog)
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkGoStmts(prog, pkg, fd, facts, &out)
+			}
+		}
+	}
+	return out
+}
+
+// gatherJoinFacts scans every loaded file for join evidence.
+func gatherJoinFacts(prog *Program) *joinFacts {
+	facts := &joinFacts{
+		waited:   map[types.Object]bool{},
+		received: map[types.Object]bool{},
+		closed:   map[types.Object]bool{},
+		sent:     map[types.Object]bool{},
+	}
+	for _, pkg := range prog.allSorted() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.CallExpr:
+					if sel, ok := node.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+						if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+							if obj := lockIdentity(pkg.Info, sel.X); obj != nil {
+								facts.waited[obj] = true
+							}
+						}
+					}
+					if b, ok := calleeObject(pkg.Info, node).(*types.Builtin); ok && b.Name() == "close" && len(node.Args) == 1 {
+						if obj := chanIdentity(pkg.Info, node.Args[0]); obj != nil {
+							facts.closed[obj] = true
+						}
+					}
+				case *ast.UnaryExpr:
+					if node.Op == token.ARROW {
+						if obj := chanIdentity(pkg.Info, node.X); obj != nil {
+							facts.received[obj] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if t := pkg.Info.Types[node.X].Type; t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							if obj := chanIdentity(pkg.Info, node.X); obj != nil {
+								facts.received[obj] = true
+							}
+						}
+					}
+				case *ast.SendStmt:
+					if obj := chanIdentity(pkg.Info, node.Chan); obj != nil {
+						facts.sent[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return facts
+}
+
+// chanIdentity resolves a channel expression to its backing object,
+// peeling indexes and selectors like lockIdentity.
+func chanIdentity(info *types.Info, e ast.Expr) types.Object {
+	return lockIdentity(info, e)
+}
+
+// checkGoStmts walks one function for `go` launches.
+func checkGoStmts(prog *Program, pkg *Package, fd *ast.FuncDecl, facts *joinFacts, out *[]Diagnostic) {
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var body *ast.BlockStmt
+		var bodyPkg *Package
+		switch fun := ast.Unparen(gs.Call.Fun).(type) {
+		case *ast.FuncLit:
+			body, bodyPkg = fun.Body, pkg
+			checkDispatchCaptures(prog, pkg, fd.Name.Name, gs, fun, stack, out)
+		default:
+			if callee, ok := calleeObject(pkg.Info, gs.Call).(*types.Func); ok && !isInterfaceMethod(callee) &&
+				callee.Pkg() != nil && prog.isLocal(callee.Pkg().Path()) {
+				if d := prog.declOf(callee); d != nil && d.decl.Body != nil {
+					body, bodyPkg = d.decl.Body, d.pkg
+				}
+			}
+		}
+		if body == nil {
+			return true // func value or foreign callee: caller vouches
+		}
+		if !hasJoinEvidence(bodyPkg, body, facts) {
+			*out = append(*out, Diagnostic{
+				Analyzer: "goleak",
+				Pos:      prog.Fset.Position(gs.Pos()),
+				Message: fmt.Sprintf("%s launches a goroutine with no join: no WaitGroup Done/Wait pair, no channel the module drains or closes, no context-cancel path",
+					fd.Name.Name),
+			})
+		}
+		return true
+	})
+}
+
+// hasJoinEvidence reports whether the goroutine body contains any
+// bounded-lifetime signal backed by the module-wide facts.
+func hasJoinEvidence(pkg *Package, body *ast.BlockStmt, facts *joinFacts) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+				switch {
+				case sel.Sel.Name == "Done" && fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync":
+					if obj := lockIdentity(pkg.Info, sel.X); obj != nil && facts.waited[obj] {
+						found = true
+					}
+				case sel.Sel.Name == "Done" && fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context":
+					// <-ctx.Done() (or a select case over it): cancel path.
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := chanIdentity(pkg.Info, node.Chan); obj != nil && facts.received[obj] {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				if obj := chanIdentity(pkg.Info, node.X); obj != nil && (facts.closed[obj] || facts.sent[obj]) {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.Types[node.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if obj := chanIdentity(pkg.Info, node.X); obj != nil && facts.closed[obj] {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDispatchCaptures flags a go'd closure inside a loop capturing a
+// variable the loop mutates (or the loop's own variables) by reference
+// instead of receiving it as an argument.
+func checkDispatchCaptures(prog *Program, pkg *Package, fname string, gs *ast.GoStmt, lit *ast.FuncLit, stack []ast.Node, out *[]Diagnostic) {
+	// Innermost enclosing loop, if any.
+	var loop ast.Node
+	var loopBody *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch l := stack[i].(type) {
+		case *ast.ForStmt:
+			loop, loopBody = l, l.Body
+		case *ast.RangeStmt:
+			loop, loopBody = l, l.Body
+		case *ast.FuncLit, *ast.FuncDecl:
+			i = -1 // don't look past the enclosing function
+		}
+		if loop != nil {
+			break
+		}
+	}
+	if loop == nil {
+		return
+	}
+	for _, name := range captures(pkg.Info, lit) {
+		v := findCapturedVar(pkg.Info, lit, name)
+		if v == nil {
+			continue
+		}
+		// Declared inside the loop and before the go statement: fresh per
+		// iteration, safe to capture.
+		if v.Pos() >= loop.Pos() && v.Pos() <= loop.End() {
+			continue
+		}
+		// Declared outside the loop: only a hazard when the loop body
+		// writes it (scratch reuse across iterations).
+		if !assignedWithin(pkg.Info, loopBody, v, lit) {
+			continue
+		}
+		*out = append(*out, Diagnostic{
+			Analyzer: "goleak",
+			Pos:      prog.Fset.Position(gs.Pos()),
+			Message: fmt.Sprintf("%s dispatch closure captures %s by reference while the loop reuses it; pass it as an argument (go func(x T) {...}(%s))",
+				fname, name, name),
+		})
+	}
+}
+
+// findCapturedVar resolves a captured name back to its variable object.
+func findCapturedVar(info *types.Info, lit *ast.FuncLit, name string) *types.Var {
+	var found *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != name || found != nil {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+				found = v
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// assignedWithin reports whether v is written inside body, outside the
+// given literal (the reuse that races with the captured reference).
+func assignedWithin(info *types.Info, body *ast.BlockStmt, v *types.Var, except *ast.FuncLit) bool {
+	written := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if written {
+			return false
+		}
+		if n == except {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			// Peel indexes and stars: row[j] = x mutates the shared backing
+			// the capture aliases, which races just like reassigning row.
+			for _, lhs := range node.Lhs {
+				if id, ok := assignBase(lhs); ok {
+					if obj := info.Uses[id]; obj == v {
+						written = true
+					}
+					if obj := info.Defs[id]; obj == v {
+						written = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := assignBase(node.X); ok && info.Uses[id] == v {
+				written = true
+			}
+		}
+		return !written
+	})
+	return written
+}
+
+// assignBase peels parens, indexes and stars off an assignment target
+// down to its base identifier.
+func assignBase(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			id, ok := e.(*ast.Ident)
+			return id, ok
+		}
+	}
+}

@@ -19,6 +19,17 @@
 //   - floateq: no ==/!= between floating-point operands in the numeric
 //     packages (gmm, pca, stats); use the mat epsilon helpers.
 //   - errdrop: no silently discarded error returns outside tests.
+//   - detorder: functions annotated //mhm:deterministic (and their
+//     static callees) must avoid nondeterminism sources — map iteration
+//     feeding float accumulation, wall clocks, the global math/rand
+//     source, math.FMA, multi-way selects, and arrival-order collection
+//     of parallel worker results.
+//   - lockorder: the module-wide mutex-acquisition graph must stay
+//     acyclic and each ordered lock pair must use one consistent
+//     Lock/RLock mode.
+//   - goleak: goroutines need a join (WaitGroup, channel, context
+//     cancel), and parallel dispatch closures must not capture loop
+//     state by reference.
 //
 // A finding is suppressed by a directive on the same line or the line
 // above:
@@ -45,6 +56,10 @@ const (
 	// NilsafeDirective marks a handle type whose exported pointer-receiver
 	// methods must be nil-receiver safe (see the nilreceiver analyzer).
 	NilsafeDirective = "//mhm:nilsafe"
+	// DeterministicDirective marks a function whose result must be
+	// bit-identical across runs, platforms and worker counts (see the
+	// detorder analyzer). The contract extends to its static callees.
+	DeterministicDirective = "//mhm:deterministic"
 	// IgnoreDirective suppresses a finding on its line or the line below.
 	IgnoreDirective = "//mhmlint:ignore"
 )
@@ -76,6 +91,9 @@ func Analyzers() []*Analyzer {
 		HotpathAnalyzer(),
 		FloatEqAnalyzer(),
 		ErrDropAnalyzer(),
+		DetOrderAnalyzer(),
+		LockOrderAnalyzer(),
+		GoLeakAnalyzer(),
 	}
 }
 
@@ -105,8 +123,13 @@ type Program struct {
 	// including dependencies of the targets.
 	All map[string]*Package
 
-	hotpath map[types.Object]bool
-	nilsafe map[types.Object]bool
+	hotpath       map[types.Object]bool
+	nilsafe       map[types.Object]bool
+	deterministic map[types.Object]bool
+	// funcDecls maps every module-local function/method object to its
+	// declaration, for interprocedural analyzers (detorder, lockorder,
+	// goleak).
+	funcDecls map[types.Object]*funcDecl
 	// ignores maps filename then line to the directives on that line.
 	ignores map[string]map[int][]ignoreDirective
 	// badDirectives are malformed //mhmlint:ignore comments.
@@ -131,6 +154,21 @@ func (p *Program) IsHotpath(obj types.Object) bool { return p.hotpath[obj] }
 // IsNilsafe reports whether obj is a type annotated //mhm:nilsafe.
 func (p *Program) IsNilsafe(obj types.Object) bool { return p.nilsafe[obj] }
 
+// IsDeterministic reports whether obj is a function annotated
+// //mhm:deterministic anywhere in the loaded module.
+func (p *Program) IsDeterministic(obj types.Object) bool { return p.deterministic[obj] }
+
+// funcDecl pairs a declaration with the package it was parsed in.
+type funcDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// declOf returns the module-local declaration of a function object, or
+// nil when the object is not a declared module function (stdlib,
+// interface method, func value).
+func (p *Program) declOf(obj types.Object) *funcDecl { return p.funcDecls[obj] }
+
 // isLocal reports whether path belongs to the loaded module.
 func (p *Program) isLocal(path string) bool {
 	return path == p.ModPath || strings.HasPrefix(path, p.ModPath+"/")
@@ -141,6 +179,8 @@ func (p *Program) isLocal(path string) bool {
 func (p *Program) scanFacts() {
 	p.hotpath = map[types.Object]bool{}
 	p.nilsafe = map[types.Object]bool{}
+	p.deterministic = map[types.Object]bool{}
+	p.funcDecls = map[types.Object]*funcDecl{}
 	p.ignores = map[string]map[int][]ignoreDirective{}
 	for _, pkg := range p.allSorted() {
 		for _, f := range pkg.Files {
@@ -168,9 +208,13 @@ func (p *Program) scanAnnotations(pkg *Package, f *ast.File) {
 	for _, decl := range f.Decls {
 		switch d := decl.(type) {
 		case *ast.FuncDecl:
-			if hasDirective(d.Doc, HotpathDirective) {
-				if obj := pkg.Info.Defs[d.Name]; obj != nil {
+			if obj := pkg.Info.Defs[d.Name]; obj != nil {
+				p.funcDecls[obj] = &funcDecl{pkg: pkg, decl: d}
+				if hasDirective(d.Doc, HotpathDirective) {
 					p.hotpath[obj] = true
+				}
+				if hasDirective(d.Doc, DeterministicDirective) {
+					p.deterministic[obj] = true
 				}
 			}
 		case *ast.GenDecl:

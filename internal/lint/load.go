@@ -3,6 +3,17 @@
 // else goes through go/importer (export data when available, source
 // otherwise). This keeps the driver free of external dependencies while
 // still type-checking the full tree.
+//
+// Loading is parallel in two phases. Parse/discovery fans out over
+// package directories (token.FileSet is safe for concurrent use),
+// following module-local imports breadth-first until the dependency
+// graph is closed. Type-checking then runs one goroutine per package,
+// each blocking on its dependencies' completion, so independent
+// subtrees check concurrently while imports always resolve to finished
+// packages. The toolchain importers are not documented as
+// goroutine-safe, so stdlib imports serialize through one mutex and a
+// shared cache — which also keeps type identity (one *types.Package per
+// path) across concurrently checked packages.
 package lint
 
 import (
@@ -17,7 +28,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // FindModuleRoot walks up from dir to the directory containing go.mod.
@@ -155,36 +168,57 @@ func ExpandPatterns(cwd, root, modpath string, patterns []string) ([]string, err
 	return dirs, nil
 }
 
-// loader resolves and type-checks packages with a shared cache.
+// loadParallelism bounds both loader phases; overridable in tests.
+var loadParallelism = func() int { return runtime.GOMAXPROCS(0) }
+
+// loader resolves and type-checks packages with shared, locked caches.
 type loader struct {
 	fset    *token.FileSet
 	root    string
 	modpath string
-	pkgs    map[string]*Package // by import path, module-local only
-	loading map[string]bool     // cycle detection
-	std     types.Importer      // export-data importer for non-module paths
-	source  types.Importer      // source fallback when export data is absent
+
+	mu   sync.Mutex
+	pkgs map[string]*Package // by import path, module-local only
+
+	// The toolchain importers are serialized: neither the export-data nor
+	// the source importer documents goroutine-safety, and the shared cache
+	// guarantees one *types.Package per path across concurrent checks.
+	impMu    sync.Mutex
+	std      types.Importer // export-data importer for non-module paths
+	source   types.Importer // source fallback when export data is absent
+	imported map[string]*types.Package
 }
 
-// Import implements types.Importer: module-local paths load from source,
-// everything else defers to the toolchain importers.
+// Import implements types.Importer: module-local paths resolve to
+// already-checked packages (the scheduler guarantees dependency order),
+// everything else defers to the serialized toolchain importers.
 func (l *loader) Import(path string) (*types.Package, error) {
 	if path == l.modpath || strings.HasPrefix(path, l.modpath+"/") {
-		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modpath), "/")
-		pkg, err := l.loadDir(filepath.Join(l.root, filepath.FromSlash(rel)))
-		if err != nil {
-			return nil, err
+		l.mu.Lock()
+		pkg := l.pkgs[path]
+		l.mu.Unlock()
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: internal error: %s imported before it was checked", path)
 		}
 		return pkg.Types, nil
 	}
-	pkg, err := l.std.Import(path)
-	if err == nil {
+	l.impMu.Lock()
+	defer l.impMu.Unlock()
+	if pkg, ok := l.imported[path]; ok {
 		return pkg, nil
 	}
-	if l.source == nil {
-		l.source = importer.ForCompiler(l.fset, "source", nil)
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		if l.source == nil {
+			l.source = importer.ForCompiler(l.fset, "source", nil)
+		}
+		pkg, err = l.source.Import(path)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return l.source.Import(path)
+	l.imported[path] = pkg
+	return pkg, nil
 }
 
 // importPathFor maps an absolute directory to its import path. Dirs
@@ -201,33 +235,178 @@ func (l *loader) importPathFor(dir string) string {
 	return l.modpath + "/" + filepath.ToSlash(rel)
 }
 
-// loadDir parses and type-checks the package in dir (cached).
-func (l *loader) loadDir(dir string) (*Package, error) {
-	path := l.importPathFor(dir)
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
-	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+// dirFor inverts importPathFor for module-local import paths.
+func (l *loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modpath), "/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
 
-	files, err := goSources(dir)
+// parseJob carries one package through both loader phases.
+type parseJob struct {
+	dir  string
+	path string
+	asts []*ast.File
+	deps []string // module-local import paths
+	err  error
+	pkg  *Package
+	done chan struct{} // closed once type-checking finished (or was skipped)
+}
+
+// discover parses the targets and, breadth-first and in parallel, every
+// module-local package they transitively import.
+func (l *loader) discover(dirs []string) map[string]*parseJob {
+	jobs := map[string]*parseJob{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, loadParallelism())
+
+	var schedule func(dir string)
+	schedule = func(dir string) {
+		path := l.importPathFor(dir)
+		mu.Lock()
+		if _, ok := jobs[path]; ok {
+			mu.Unlock()
+			return
+		}
+		j := &parseJob{dir: dir, path: path, done: make(chan struct{})}
+		jobs[path] = j
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			l.parseInto(j)
+			<-sem
+			for _, dep := range j.deps {
+				schedule(l.dirFor(dep))
+			}
+		}()
+	}
+	for _, dir := range dirs {
+		schedule(dir)
+	}
+	wg.Wait()
+	return jobs
+}
+
+// parseInto parses one package directory and records its module-local
+// imports.
+func (l *loader) parseInto(j *parseJob) {
+	files, err := goSources(j.dir)
 	if err != nil {
-		return nil, err
+		j.err = err
+		return
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		j.err = fmt.Errorf("lint: no Go files in %s", j.dir)
+		return
 	}
-	var asts []*ast.File
+	deps := map[string]bool{}
 	for _, f := range files {
 		parsed, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			j.err = err
+			return
 		}
-		asts = append(asts, parsed)
+		j.asts = append(j.asts, parsed)
+		for _, imp := range parsed.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == l.modpath || strings.HasPrefix(path, l.modpath+"/") {
+				deps[path] = true
+			}
+		}
 	}
+	for dep := range deps {
+		j.deps = append(j.deps, dep)
+	}
+	sort.Strings(j.deps)
+}
+
+// findImportCycle looks for a cycle in the module-local import graph
+// before type-checking starts: the dependency-ordered scheduler would
+// otherwise deadlock on one. Deterministic: paths visit in sorted order.
+func findImportCycle(jobs map[string]*parseJob) error {
+	paths := make([]string, 0, len(jobs))
+	for p := range jobs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // finished
+	)
+	color := map[string]int{}
+	var visit func(p string) error
+	visit = func(p string) error {
+		color[p] = grey
+		j := jobs[p]
+		if j != nil {
+			for _, dep := range j.deps {
+				switch color[dep] {
+				case grey:
+					return fmt.Errorf("lint: import cycle through %s", dep)
+				case white:
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[p] = black
+		return nil
+	}
+	for _, p := range paths {
+		if color[p] == white {
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkAll type-checks every parsed package: one goroutine per package,
+// each gated on its dependencies' completion, bounded by a semaphore
+// acquired only after the gates open (so waiting never holds a slot).
+func (l *loader) checkAll(jobs map[string]*parseJob) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, loadParallelism())
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *parseJob) {
+			defer wg.Done()
+			defer close(j.done)
+			if j.err != nil {
+				return
+			}
+			for _, dep := range j.deps {
+				dj := jobs[dep]
+				if dj == nil {
+					j.err = fmt.Errorf("lint: no Go files in %s", l.dirFor(dep))
+					return
+				}
+				<-dj.done
+				if dj.err != nil {
+					// The root cause reports from its own job; this package
+					// just cannot be checked.
+					j.err = fmt.Errorf("lint: skipped %s: dependency %s failed", j.path, dep)
+					return
+				}
+			}
+			sem <- struct{}{}
+			l.check(j)
+			<-sem
+		}(j)
+	}
+	wg.Wait()
+}
+
+// check type-checks one parsed package and publishes it.
+func (l *loader) check(j *parseJob) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -240,13 +419,38 @@ func (l *loader) loadDir(dir string) (*Package, error) {
 		Importer: l,
 		Sizes:    types.SizesFor("gc", runtime.GOARCH),
 	}
-	tpkg, err := conf.Check(path, l.fset, asts, info)
+	tpkg, err := conf.Check(j.path, l.fset, j.asts, info)
 	if err != nil {
-		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+		j.err = fmt.Errorf("lint: typecheck %s: %w", j.path, err)
+		return
 	}
-	pkg := &Package{Path: path, Dir: dir, Files: asts, Types: tpkg, Info: info}
-	l.pkgs[path] = pkg
-	return pkg, nil
+	j.pkg = &Package{Path: j.path, Dir: j.dir, Files: j.asts, Types: tpkg, Info: info}
+	l.mu.Lock()
+	l.pkgs[j.path] = j.pkg
+	l.mu.Unlock()
+}
+
+// firstError picks the error from the import-path-smallest failed job,
+// skipping secondary "dependency failed" reports when the root cause is
+// also present, so the reported error is deterministic under parallel
+// loading.
+func firstError(jobs map[string]*parseJob) error {
+	paths := make([]string, 0, len(jobs))
+	for p, j := range jobs {
+		if j.err != nil {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		return nil
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if !strings.Contains(jobs[p].err.Error(), "lint: skipped ") {
+			return jobs[p].err
+		}
+	}
+	return jobs[paths[0]].err
 }
 
 // Load type-checks the packages matched by patterns (resolved relative
@@ -274,22 +478,28 @@ func Load(cwd string, patterns []string) (*Program, error) {
 		return nil, fmt.Errorf("lint: no packages matched %v", patterns)
 	}
 	l := &loader{
-		fset:    token.NewFileSet(),
-		root:    root,
-		modpath: modpath,
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
-		std:     importer.Default(),
+		fset:     token.NewFileSet(),
+		root:     root,
+		modpath:  modpath,
+		pkgs:     map[string]*Package{},
+		std:      importer.Default(),
+		imported: map[string]*types.Package{},
 	}
-	prog := &Program{Fset: l.fset, ModPath: modpath, Root: root, All: map[string]*Package{}}
+	jobs := l.discover(dirs)
+	if err := firstError(jobs); err != nil {
+		return nil, err
+	}
+	if err := findImportCycle(jobs); err != nil {
+		return nil, err
+	}
+	l.checkAll(jobs)
+	if err := firstError(jobs); err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: l.fset, ModPath: modpath, Root: root, All: l.pkgs}
 	for _, dir := range dirs {
-		pkg, err := l.loadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.Pkgs = append(prog.Pkgs, jobs[l.importPathFor(dir)].pkg)
 	}
-	prog.All = l.pkgs
 	prog.scanFacts()
 	return prog, nil
 }

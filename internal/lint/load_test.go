@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a file map under dir.
+func writeModule(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadTreeDeterministic loads the whole module twice and checks the
+// package lists and full-suite diagnostics agree: parallel scheduling
+// must not leak into results.
+func TestLoadTreeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree load in -short mode")
+	}
+	run := func() ([]string, []string) {
+		prog, err := Load("../..", []string{"./..."})
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		var paths []string
+		for _, pkg := range prog.Pkgs {
+			paths = append(paths, pkg.Path)
+		}
+		var diags []string
+		for _, d := range RunAnalyzers(prog, Analyzers()) {
+			diags = append(diags, d.String())
+		}
+		return paths, diags
+	}
+	p1, d1 := run()
+	p2, d2 := run()
+	if fmt.Sprint(p1) != fmt.Sprint(p2) {
+		t.Errorf("package lists differ across loads:\n%v\n%v", p1, p2)
+	}
+	if fmt.Sprint(d1) != fmt.Sprint(d2) {
+		t.Errorf("diagnostics differ across loads:\n%v\n%v", d1, d2)
+	}
+}
+
+// TestLoadParallelMatchesSerial pins that the parallel scheduler and a
+// serial one (parallelism forced to 1) produce identical programs.
+func TestLoadParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree load in -short mode")
+	}
+	load := func(par int) []string {
+		old := loadParallelism
+		loadParallelism = func() int { return par }
+		defer func() { loadParallelism = old }()
+		prog, err := Load("../..", []string{"./..."})
+		if err != nil {
+			t.Fatalf("load (parallelism %d): %v", par, err)
+		}
+		var out []string
+		for path, pkg := range prog.All {
+			out = append(out, fmt.Sprintf("%s=%d files", path, len(pkg.Files)))
+		}
+		var diags []string
+		for _, d := range RunAnalyzers(prog, Analyzers()) {
+			diags = append(diags, d.String())
+		}
+		return append(out, diags...)
+	}
+	serial := load(1)
+	parallel := load(8)
+	sort.Strings(serial)
+	sort.Strings(parallel)
+	if fmt.Sprint(serial) != fmt.Sprint(parallel) {
+		t.Errorf("serial and parallel loads disagree:\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+}
+
+// TestLoadImportCycle verifies the pre-check rejects a module-local
+// import cycle instead of deadlocking the scheduler.
+func TestLoadImportCycle(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir, map[string]string{
+		"go.mod":    "module example.com/cyc\n\ngo 1.21\n",
+		"a/a.go":    "package a\n\nimport \"example.com/cyc/b\"\n\nvar X = b.Y\n",
+		"b/b.go":    "package b\n\nimport \"example.com/cyc/a\"\n\nvar Y = 1\n\nvar Z = a.X\n",
+		"main/m.go": "package main\n\nimport \"example.com/cyc/a\"\n\nfunc main() { _ = a.X }\n",
+	})
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("cyclic module loaded without error")
+	}
+	if got := err.Error(); !strings.Contains(got, "import cycle") {
+		t.Errorf("want import-cycle error, got %q", got)
+	}
+}
+
+// BenchmarkLoadTree pins the wall time of a whole-tree load — the cost
+// the parallel loader exists to keep down.
+func BenchmarkLoadTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog, err := Load("../..", []string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(prog.Pkgs) == 0 {
+			b.Fatal("empty program")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// SARIF 2.1.0 output (static analysis results interchange format,
+// OASIS standard): the CI-annotation wire form of a lint run. One run,
+// one tool.driver carrying the analyzer suite as rules, one result per
+// diagnostic with a physical location relative to the module root so
+// upload-sarif actions annotate the right lines.
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 document structure — only the slice of the schema this
+// tool emits; every field below is either required by the schema or a
+// standard CI-consumed property.
+type (
+	sarifLog struct {
+		Schema  string     `json:"$schema"`
+		Version string     `json:"version"`
+		Runs    []sarifRun `json:"runs"`
+	}
+	sarifRun struct {
+		Tool    sarifTool     `json:"tool"`
+		Results []sarifResult `json:"results"`
+	}
+	sarifTool struct {
+		Driver sarifDriver `json:"driver"`
+	}
+	sarifDriver struct {
+		Name           string      `json:"name"`
+		InformationURI string      `json:"informationUri,omitempty"`
+		Rules          []sarifRule `json:"rules"`
+	}
+	sarifRule struct {
+		ID               string       `json:"id"`
+		ShortDescription sarifMessage `json:"shortDescription"`
+	}
+	sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		RuleIndex int             `json:"ruleIndex"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	sarifMessage struct {
+		Text string `json:"text"`
+	}
+	sarifLocation struct {
+		PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	}
+	sarifPhysicalLocation struct {
+		ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+		Region           sarifRegion           `json:"region"`
+	}
+	sarifArtifactLocation struct {
+		URI string `json:"uri"`
+	}
+	sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+)
+
+// SARIFSchemaURI is the published 2.1.0 schema location emitted in
+// $schema (and asserted by the CLI test).
+const SARIFSchemaURI = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+
+// WriteSARIF renders diagnostics as one SARIF 2.1.0 run. Rules carry
+// the given analyzers (plus the driver's own "mhmlint" rule for
+// malformed directives); file URIs are rendered relative to root with
+// forward slashes.
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := map[string]int{}
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	// Malformed-directive reports come from the driver itself.
+	index["mhmlint"] = len(rules)
+	rules = append(rules, sarifRule{ID: "mhmlint", ShortDescription: sarifMessage{Text: "malformed //mhmlint:ignore directive"}})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := index[d.Analyzer]
+		if !ok {
+			idx = index["mhmlint"]
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(root, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  SARIFSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mhmlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// sarifURI renders a diagnostic path as a root-relative, slash-
+// separated artifact URI.
+func sarifURI(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

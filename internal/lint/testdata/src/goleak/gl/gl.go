@@ -1,0 +1,169 @@
+// Package gl exercises the goleak analyzer: every goroutine needs a
+// join (WaitGroup, drained/closed channel, context cancel), and a
+// dispatch closure must not capture loop-reused state by reference.
+package gl
+
+import (
+	"context"
+	"sync"
+)
+
+// sink absorbs fixture values.
+var sink float64
+
+func work(w int) { sink += float64(w) }
+
+// Fire launches a closure with no join of any kind.
+func Fire() {
+	go func() { // want "no join"
+		sink++
+	}()
+}
+
+// leakyLoop spins forever with no cancel path.
+func leakyLoop() {
+	for {
+		sink++
+	}
+}
+
+// Named launches a module-local function whose body has no join.
+func Named() {
+	go leakyLoop() // want "no join"
+}
+
+// spinner carries the leaking method for the go s.run() form.
+type spinner struct{ n int }
+
+func (s *spinner) run() {
+	for {
+		s.n++
+	}
+}
+
+// Spin launches a method value with no join in its body.
+func Spin(s *spinner) {
+	go s.run() // want "no join"
+}
+
+// Orphan sends on a channel nothing in the module ever receives from.
+func Orphan() {
+	ch := make(chan int)
+	go func() { // want "no join"
+		ch <- 1
+	}()
+}
+
+// Consume receives from a channel nothing ever closes or sends on.
+func Consume() {
+	ch := make(chan float64)
+	go func() { // want "no join"
+		for v := range ch {
+			sink += v
+		}
+	}()
+}
+
+// Scratch reuses a buffer across iterations while a dispatched closure
+// holds a reference to it: the classic dispatch race.
+func Scratch(n int) {
+	var wg sync.WaitGroup
+	row := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		row[0] = float64(i)
+		wg.Add(1)
+		go func() { // want "captures row by reference"
+			defer wg.Done()
+			sink += row[0]
+		}()
+	}
+	wg.Wait()
+}
+
+// Fan is the repository dispatch idiom: per-worker argument passing and
+// a WaitGroup join. Clean.
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Produce's goroutine sends on a channel the function drains: joined.
+func Produce(n int) []float64 {
+	ch := make(chan float64, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- float64(i)
+		}
+		close(ch)
+	}()
+	var out []float64
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}
+
+// ticks feeds Watch; Tick sends on it so the fact base sees a sender.
+var ticks = make(chan float64)
+
+func Tick(v float64) { ticks <- v }
+
+// Watch's goroutine exits through the context cancel path.
+func Watch(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ticks:
+				sink += v
+			}
+		}
+	}()
+}
+
+// pool mirrors the sharded-pipeline shape: workers join through a field
+// WaitGroup waited on (and a jobs channel closed) in Close.
+type pool struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+func (p *pool) Start(n int) {
+	for w := 0; w < n; w++ {
+		p.wg.Add(1)
+		go p.run()
+	}
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		work(j)
+	}
+}
+
+func (p *pool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// metricsPump runs for the process lifetime; its launch is reviewed and
+// suppressed with a reason.
+func metricsPump() {
+	for {
+		sink++
+	}
+}
+
+func Daemon() {
+	//mhmlint:ignore goleak process-lifetime metrics pump, exits with the process
+	go metricsPump()
+}

@@ -1,0 +1,192 @@
+// Package lo exercises the lockorder analyzer: the module-wide
+// acquisition graph must stay acyclic, each ordered pair must keep one
+// Lock/RLock mode, and no lock is reacquired while held.
+package lo
+
+import "sync"
+
+// sink absorbs fixture values.
+var sink int
+
+// a and b form the direct AB/BA cycle.
+var (
+	a sync.Mutex
+	b sync.Mutex
+)
+
+// AB acquires a then b; BA acquires b then a. Together: a cycle,
+// reported once at its lexically first edge.
+func AB() {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock() // want "lock-order cycle"
+	defer b.Unlock()
+	sink++
+}
+
+func BA() {
+	b.Lock()
+	defer b.Unlock()
+	a.Lock()
+	defer a.Unlock()
+	sink++
+}
+
+// box holds a field mutex for the self-deadlock case.
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Double reacquires a held field mutex.
+func (x *box) Double() {
+	x.mu.Lock()
+	x.mu.Lock() // want "self-deadlock"
+	x.n++
+	x.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// rw is the read-to-write upgrade case.
+var rw sync.RWMutex
+
+// Upgrade takes the read lock and then asks for the write lock: with a
+// writer queued in between, this blocks forever.
+func Upgrade() {
+	rw.RLock()
+	defer rw.RUnlock()
+	rw.Lock() // want "self-deadlock"
+	defer rw.Unlock()
+	sink++
+}
+
+// m1 and m2 are ordered consistently but in mixed modes.
+var (
+	m1 sync.Mutex
+	m2 sync.RWMutex
+)
+
+func WriteNested() {
+	m1.Lock()
+	defer m1.Unlock()
+	m2.Lock()
+	defer m2.Unlock()
+	sink++
+}
+
+func ReadNested() {
+	m1.Lock()
+	defer m1.Unlock()
+	m2.RLock() // want "mixed RLock/Lock acquisition"
+	defer m2.RUnlock()
+	sink++
+}
+
+// d and e form a cycle only through a callee: Outer holds d and calls
+// lockE, whose acquisition of e becomes the d→e edge.
+var (
+	d sync.Mutex
+	e sync.Mutex
+)
+
+func lockE() {
+	e.Lock()
+	sink++
+	e.Unlock()
+}
+
+func Outer() {
+	d.Lock()
+	defer d.Unlock()
+	lockE() // want "lock-order cycle"
+}
+
+func Inner() {
+	e.Lock()
+	defer e.Unlock()
+	d.Lock()
+	defer d.Unlock()
+	sink++
+}
+
+// n1 and n2 are always taken in the same order and mode: clean.
+var (
+	n1 sync.Mutex
+	n2 sync.Mutex
+)
+
+func OrderedOne() {
+	n1.Lock()
+	defer n1.Unlock()
+	n2.Lock()
+	defer n2.Unlock()
+	sink++
+}
+
+func OrderedTwo() {
+	n1.Lock()
+	defer n1.Unlock()
+	n2.Lock()
+	defer n2.Unlock()
+	sink++
+}
+
+// q1 and q2 never nest: releasing before the next acquire makes no edge.
+var (
+	q1 sync.Mutex
+	q2 sync.Mutex
+)
+
+func Sequential() {
+	q1.Lock()
+	sink++
+	q1.Unlock()
+	q2.Lock()
+	sink++
+	q2.Unlock()
+}
+
+func SequentialReversed() {
+	q2.Lock()
+	sink++
+	q2.Unlock()
+	q1.Lock()
+	sink++
+	q1.Unlock()
+}
+
+// z1 and z2: a closure defined while z1 is held runs later, on another
+// goroutine or call path — it contributes no edge.
+var (
+	z1 sync.Mutex
+	z2 sync.Mutex
+)
+
+func Deferred() func() {
+	z1.Lock()
+	defer z1.Unlock()
+	f := func() {
+		z2.Lock()
+		sink++
+		z2.Unlock()
+	}
+	return f
+}
+
+func ReversedLater() {
+	z2.Lock()
+	defer z2.Unlock()
+	sink++
+}
+
+// s1 is a reviewed recursive acquisition, suppressed with a reason.
+var s1 sync.Mutex
+
+func Reviewed() {
+	s1.Lock()
+	defer s1.Unlock()
+	//mhmlint:ignore lockorder re-entry is guarded by the caller's state machine
+	s1.Lock()
+	defer s1.Unlock()
+	sink++
+}

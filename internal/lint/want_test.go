@@ -136,6 +136,18 @@ func TestErrDropFixture(t *testing.T) {
 	checkFixture(t, "testdata/src/errdrop/ed", "errdrop")
 }
 
+func TestDetOrderFixture(t *testing.T) {
+	checkFixture(t, "testdata/src/detorder/det", "detorder")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "testdata/src/lockorder/lo", "lockorder")
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	checkFixture(t, "testdata/src/goleak/gl", "goleak")
+}
+
 // TestCleanFixture is the negative case: a package that plays by every
 // rule (including one suppressed violation) yields zero findings from
 // the full analyzer suite.

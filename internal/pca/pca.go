@@ -98,6 +98,8 @@ func (m *Model) prepare() {
 
 // Train learns the eigenmemories of a training set (each element one MHM
 // vector of equal length L).
+//
+//mhm:deterministic
 func Train(set [][]float64, opts Options) (*Model, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
@@ -217,6 +219,8 @@ func (m *Model) Project(v []float64) ([]float64, error) {
 // ProjectInto computes Project into dst (length L'), allocating nothing
 // after the projection cache is built on first use. Safe for concurrent
 // use with distinct dst slices.
+//
+//mhm:deterministic
 func (m *Model) ProjectInto(dst, v []float64) error {
 	l, lp := m.Dim()
 	if len(v) != l {

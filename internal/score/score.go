@@ -140,6 +140,8 @@ func (s *Scorer) Engine() *Engine { return s.e }
 
 // Score returns the mixture log density of one MHM vector (length L).
 // Zero allocations in steady state.
+//
+//mhm:deterministic
 func (s *Scorer) Score(v []float64) (float64, error) {
 	if len(v) != s.e.l {
 		return 0, fmt.Errorf("score: vector length %d, want %d: %w", len(v), s.e.l, ErrModel)
@@ -149,6 +151,8 @@ func (s *Scorer) Score(v []float64) (float64, error) {
 }
 
 // ScoreReduced scores an already-projected L'-dimensional weight vector.
+//
+//mhm:deterministic
 func (s *Scorer) ScoreReduced(w []float64) (float64, error) {
 	if len(w) != s.e.lp {
 		return 0, fmt.Errorf("score: reduced length %d, want %d: %w", len(w), s.e.lp, ErrModel)
@@ -163,6 +167,8 @@ func (s *Scorer) ScoreReduced(w []float64) (float64, error) {
 // batched intervals. After scratch has grown to the largest batch seen,
 // the per-item cost is allocation-free. Scores are bit-identical to
 // Score called per vector.
+//
+//mhm:deterministic
 func (s *Scorer) ScoreBatch(dst []float64, vecs [][]float64) error {
 	if len(dst) != len(vecs) {
 		return fmt.Errorf("score: dst length %d for %d vectors: %w", len(dst), len(vecs), ErrModel)

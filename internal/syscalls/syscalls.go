@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/memheatmap/mhm/internal/mat"
 	"github.com/memheatmap/mhm/internal/rtos"
 	"github.com/memheatmap/mhm/internal/stats"
 )
@@ -319,10 +320,16 @@ func (d *Detector) ScoreSeries(samples []Sample) ([]float64, error) {
 	return out, nil
 }
 
-// Threshold returns θ_p for a calibrated quantile.
+// quantileTol matches threshold quantile labels: p values arrive
+// through flag parsing and JSON round-trips, so exact float equality
+// would miss a calibrated 0.995.
+const quantileTol = 1e-9
+
+// Threshold returns θ_p for a calibrated quantile, matched within
+// quantileTol.
 func (d *Detector) Threshold(p float64) (float64, error) {
 	for _, th := range d.Thresholds {
-		if th.P == p {
+		if mat.EqTol(th.P, p, quantileTol) {
 			return th.Theta, nil
 		}
 	}

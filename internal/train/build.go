@@ -19,6 +19,8 @@ const dimTile = 512
 // matrix Φ and the total variance tr(C) = Σ‖Φ_j‖²/N of a training set
 // (one sample per element, equal lengths — the caller validates). The
 // result is bit-identical for every worker count.
+//
+//mhm:deterministic
 func BuildCentered(set [][]float64, workers int) (mean []float64, phi *mat.Matrix, totalVar float64) {
 	n := len(set)
 	l := len(set[0])

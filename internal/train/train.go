@@ -72,6 +72,8 @@ type EMModel struct {
 // EMFit runs one EM fit from the given initial means (one slice per
 // component, typically from k-means++ seeding). data is not modified;
 // the returned model owns its storage.
+//
+//mhm:deterministic
 func EMFit(data [][]float64, initMeans [][]float64, cfg EMConfig) (*EMModel, error) {
 	n := len(data)
 	if n == 0 || cfg.K <= 0 || len(initMeans) != cfg.K {

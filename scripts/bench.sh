@@ -2,11 +2,19 @@
 # Benchmark the scoring and training engines and record machine-readable
 # baselines.
 #
+# Every BENCH_*.json records the runner's runtime.NumCPU() as "cpus" so
+# a baseline declares the parallelism it was measured under. Speedup
+# rows that compare a parallel engine against its serial twin
+# (sharded_speedup, train_speedup, pca_speedup) are SKIPPED — not
+# recorded as 1.0x — on single-CPU runners, where the comparison is
+# meaningless by construction.
+#
 # Scoring: runs the three scoring-path benchmarks (single-vector
 # analysis loop, batched ScoreBatch at B=64, sharded multi-stream
 # pipeline) several times, takes the median ns/op of each, and writes
 # BENCH_scoring.json at the repo root with the derived batch-vs-single
-# and sharded-vs-single speedups. Bar: batch_speedup >= 2.
+# and (on multi-core runners) sharded-vs-single speedups. Bar:
+# batch_speedup >= 2.
 #
 # Training: runs the training-engine benchmarks (core.Train serial vs
 # parallel, pca.Train serial vs parallel, trace decode per-record vs
@@ -34,13 +42,18 @@ COUNT="${1:-3}"
 BENCHTIME="${2:-2s}"
 OUT="BENCH_scoring.json"
 
+# The machine's processor count, NOT go env GOMAXPROCS (which reports
+# the environment override, not the hardware).
+CPUS="$(go run ./scripts/numcpu)"
+case "$CPUS" in ''|*[!0-9]*) CPUS=1 ;; esac
+
 RAW="$(go test -run '^$' \
   -bench 'AnalysisTime_L1472_Lp9_J5$|ScoreBatch$|ShardedPipeline$' \
   -benchmem -benchtime="$BENCHTIME" -count="$COUNT" .)"
 
 printf '%s\n' "$RAW"
 
-printf '%s\n' "$RAW" | awk -v out="$OUT" '
+printf '%s\n' "$RAW" | awk -v out="$OUT" -v cpus="$CPUS" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix
@@ -65,11 +78,15 @@ function field(key, bench,    v) {
 }
 END {
     printf "{\n" > out
+    printf "  \"cpus\": %d,\n", cpus >> out
     single  = field("single",  "AnalysisTime_L1472_Lp9_J5")
     batch   = field("batch64", "ScoreBatch")
     sharded = field("sharded", "ShardedPipeline")
-    printf "  \"batch_speedup\": %.2f,\n", single / batch >> out
-    printf "  \"sharded_speedup\": %.2f\n", single / sharded >> out
+    if (cpus > 1)
+        printf "  \"sharded_speedup\": %.2f,\n", single / sharded >> out
+    else
+        printf "bench.sh: single-core runner; sharded_speedup row skipped\n" > "/dev/stderr"
+    printf "  \"batch_speedup\": %.2f\n", single / batch >> out
     printf "}\n" >> out
     if (single / batch < 2.0) {
         printf "bench.sh: batch speedup %.2fx below the 2x bar\n", single / batch > "/dev/stderr"
@@ -85,8 +102,6 @@ cat "$OUT"
 # ---------------------------------------------------------------- training
 
 TRAIN_OUT="BENCH_training.json"
-CPUS="$(go env GOMAXPROCS 2>/dev/null || echo 1)"
-case "$CPUS" in ''|*[!0-9]*) CPUS=1 ;; esac
 
 TRAIN_RAW="$(go test -run '^$' \
   -bench 'CoreTrainSerial$|CoreTrainParallel$|PCATrain$|PCATrainParallel$|TraceReadRecord$|TraceReadBatch$' \
@@ -129,8 +144,12 @@ END {
     record   = field("trace_read_record",   "TraceReadRecord")
     batch    = field("trace_read_batch",    "TraceReadBatch")
     em       = field("em_iteration",        "TrainEM")
-    printf "  \"train_speedup\": %.2f,\n", serial / parallel >> out
-    printf "  \"pca_speedup\": %.2f,\n", pcas / pcap >> out
+    if (cpus > 1) {
+        printf "  \"train_speedup\": %.2f,\n", serial / parallel >> out
+        printf "  \"pca_speedup\": %.2f,\n", pcas / pcap >> out
+    } else {
+        printf "bench.sh: single-core runner; train_speedup/pca_speedup rows skipped\n" > "/dev/stderr"
+    }
     printf "  \"ingest_speedup\": %.2f\n", record / batch >> out
     printf "}\n" >> out
     if (allocs["TrainEM"] + 0 != 0) {

@@ -1,0 +1,19 @@
+// Command numcpu prints runtime.NumCPU() — the number of CPUs usable
+// by the current process. bench.sh records it in every BENCH_*.json so
+// a baseline declares the parallelism it was measured under, and uses
+// it to decide whether parallel-speedup bars apply (a single-CPU runner
+// legitimately shows 1.0x on bit-identical serial/parallel engines).
+//
+// go env GOMAXPROCS is NOT a substitute: it reports the environment
+// override (usually unset, printed as the literal default), not the
+// machine's processor count.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Println(runtime.NumCPU())
+}
