@@ -298,6 +298,28 @@ func TestSelfLint(t *testing.T) {
 	}
 }
 
+// TestFleetDecisionPathClean pins the fleet control plane specifically:
+// its routing, admission, registry, autoscale and simulator decision
+// functions are //mhm:deterministic-annotated, so detorder walks their
+// transitive closure — a time.Now, global rand, or unordered map fold
+// slipping into a decision path must fail this test, not just the
+// whole-tree run.
+func TestFleetDecisionPathClean(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "../../internal/fleet")
+	if code != 0 {
+		t.Fatalf("internal/fleet fails the lint suite (exit %d):\n%s\n%s", code, stdout, stderr)
+	}
+	// The annotations must actually be present — a clean result because
+	// someone deleted the markers is not a pass.
+	data, err := os.ReadFile("../../internal/fleet/router.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "//mhm:deterministic") {
+		t.Fatal("fleet routing lost its //mhm:deterministic annotations")
+	}
+}
+
 // worstCase is a generated package violating every analyzer at once; the
 // import path ends in "score" so the floateq scope applies.
 const worstCase = `package score

@@ -1,0 +1,42 @@
+package fleet
+
+import "testing"
+
+func TestAdmitVerdictPrecedence(t *testing.T) {
+	const depth, streamCap, hw = 8, 4, 6
+	cases := []struct {
+		qlen, inflight int
+		want           string
+	}{
+		{0, 0, ""},            // idle fleet admits
+		{5, 3, ""},            // busy but under every limit
+		{8, 0, ShedQueueFull}, // full queue sheds even idle streams
+		{8, 9, ShedQueueFull}, // queue-full outranks stream-cap
+		{2, 4, ShedStreamCap}, // at the per-stream cap
+		{2, 9, ShedStreamCap}, // far past the cap
+		{6, 1, ShedHighWater}, // above high water, stream busy
+		{7, 3, ShedHighWater}, // above high water, under-cap still sheds
+		{6, 0, ""},            // above high water, idle stream admits
+	}
+	for i, c := range cases {
+		got := admitVerdict(c.qlen, depth, c.inflight, streamCap, hw)
+		if got != c.want {
+			t.Errorf("case %d (qlen=%d inflight=%d): got %q want %q",
+				i, c.qlen, c.inflight, got, c.want)
+		}
+	}
+}
+
+func TestHighWaterMark(t *testing.T) {
+	if got := highWaterMark(8, 0.75); got != 6 {
+		t.Fatalf("highWaterMark(8, 0.75) = %d", got)
+	}
+	// Clamped to [1, qcap]: frac 1 never exceeds the queue, tiny
+	// fractions still admit the first interval.
+	if got := highWaterMark(10, 1); got != 10 {
+		t.Fatalf("highWaterMark(10, 1) = %d", got)
+	}
+	if got := highWaterMark(100, 0.001); got != 1 {
+		t.Fatalf("highWaterMark(100, 0.001) = %d", got)
+	}
+}

@@ -1,0 +1,156 @@
+// The seeded fleet workload generator. Every value it produces — cell
+// counts, arrival jitter, per-stream phase — is a stateless hash of
+// (seed, stream, interval, cell), so the generator needs no per-stream
+// RNG state at 100k streams and any component can regenerate any
+// interval's vector independently: the property that lets the simulator
+// score admitted intervals in parallel while staying bit-reproducible.
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/pca"
+)
+
+// u01 maps a hash to the unit interval with 53-bit resolution.
+//
+//mhm:deterministic
+func u01(h uint64) float64 {
+	return float64(h>>11) * (1.0 / (1 << 53))
+}
+
+// Workload generates per-stream interval heat maps for the simulator:
+// a structured base access pattern (a few hot code/data banks with a
+// decaying tail, the shape of the paper's Fig. 1 heat maps) modulated
+// per stream and dithered per interval.
+type Workload struct {
+	Seed int64
+	Def  heatmap.Def
+	base []float64
+	peak float64
+}
+
+// NewWorkload builds a generator over the given region.
+func NewWorkload(seed int64, def heatmap.Def) (*Workload, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Workload{Seed: seed, Def: def, base: make([]float64, def.Cells())}
+	cells := len(w.base)
+	for c := range w.base {
+		// Three hot banks with exponential falloff over a cold floor.
+		v := 8.0
+		for _, hot := range []int{0, cells / 3, 2 * cells / 3} {
+			d := float64(c - hot)
+			v += 120 * math.Exp(-d*d/float64(cells))
+		}
+		w.base[c] = v
+		if v > w.peak {
+			w.peak = v
+		}
+	}
+	return w, nil
+}
+
+// key derives the per-(stream, interval) hash chain root.
+//
+//mhm:deterministic
+func (w *Workload) key(stream, interval int) uint64 {
+	return splitmix64(splitmix64(uint64(w.Seed)^0x6d686d666c656574) ^
+		splitmix64(uint64(stream)*0x9e3779b97f4a7c15+uint64(interval)))
+}
+
+// VectorInto writes the stream's interval vector (integral cell counts,
+// the exact values HeatMap.Vector would produce for the same interval).
+// Anomalous intervals invert the bank pattern — activity concentrated
+// where training never saw it — so they land far from the eigenmemory
+// subspace.
+//
+//mhm:deterministic
+func (w *Workload) VectorInto(dst []float64, stream, interval int, anomalous bool) {
+	k := w.key(stream, interval)
+	// Per-stream gain on odd cells: persistent device-to-device
+	// variation the model must absorb.
+	gain := 1 + 0.25*u01(splitmix64(uint64(stream)+0x5d4))
+	for c := range dst {
+		b := w.base[c]
+		if anomalous {
+			b = w.peak - b
+		}
+		if c%2 == 1 {
+			b *= gain
+		}
+		noise := 12 * u01(splitmix64(k+uint64(c)))
+		dst[c] = math.Floor(b + noise)
+	}
+}
+
+// HeatMap materializes one interval as a heat map (counts saturate the
+// uint32 range like the hardware counters).
+func (w *Workload) HeatMap(stream, interval int, anomalous bool) (*heatmap.HeatMap, error) {
+	m, err := heatmap.New(w.Def)
+	if err != nil {
+		return nil, err
+	}
+	v := make([]float64, w.Def.Cells())
+	w.VectorInto(v, stream, interval, anomalous)
+	for c, x := range v {
+		if x < 0 {
+			x = 0
+		}
+		if x > math.MaxUint32 {
+			x = math.MaxUint32
+		}
+		m.Counts[c] = uint32(x)
+	}
+	return m, nil
+}
+
+// jitter returns the stream's arrival jitter for one emission in
+// [-bound, +bound] microseconds.
+//
+//mhm:deterministic
+func (w *Workload) jitter(stream, interval int, bound int64) int64 {
+	if bound <= 0 {
+		return 0
+	}
+	h := splitmix64(w.key(stream, interval) ^ 0x1ee7)
+	return int64(h%uint64(2*bound+1)) - bound
+}
+
+// TrainDetector fits the fleet's base detector on clean draws from the
+// generator: trainN maps sampled across pseudo-streams plus a held-out
+// calibration set, with the small model shape the fleet benchmarks use
+// (the detection-quality experiments own the full-size models).
+func (w *Workload) TrainDetector(trainN, calibN int) (*core.Detector, error) {
+	if trainN < 2 || calibN < 1 {
+		return nil, fmt.Errorf("fleet: training set %d/%d: %w", trainN, calibN, ErrConfig)
+	}
+	mk := func(n, phase int) ([]*heatmap.HeatMap, error) {
+		maps := make([]*heatmap.HeatMap, n)
+		for i := range maps {
+			m, err := w.HeatMap(i%64, phase+i, false)
+			if err != nil {
+				return nil, err
+			}
+			maps[i] = m
+		}
+		return maps, nil
+	}
+	trainSet, err := mk(trainN, 0)
+	if err != nil {
+		return nil, err
+	}
+	calib, err := mk(calibN, trainN)
+	if err != nil {
+		return nil, err
+	}
+	return core.Train(trainSet, calib, core.Config{
+		PCA: pca.Options{Components: 6},
+		GMM: gmm.Options{Components: 3, Restarts: 2},
+	})
+}

@@ -1,0 +1,206 @@
+// The per-stream model registry: which trained model scores which
+// stream, and when a refreshed model takes over. Models are immutable
+// once built (copy-on-write: a refresh builds a new *Model and swaps
+// the pointer), so readers never see a half-updated model and a swap
+// never drops or reorders submissions — it only changes which engine
+// scores the next interval.
+//
+// Swaps are scheduled against the stream's own interval index, not the
+// wall clock: SwapAt(stream, k, m) means "intervals k and later score
+// under m". Because exactly one shard worker assigns a stream's indices
+// (the routing affinity contract), the boundary is exact — the fleet's
+// alarms under a concurrent swap are bit-identical to a serial run that
+// applies the same swap at the same boundary, which is what the race
+// stress test pins.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/score"
+)
+
+// Model is one immutable scoring configuration: the fused engine and
+// the calibrated decision threshold. Version identifies the model in
+// traces and tests; refreshes should increment it.
+type Model struct {
+	eng     *score.Engine
+	theta   float64
+	version int
+}
+
+// NewModel derives a fleet model from a trained detector at the given
+// threshold quantile (0 selects the default θ1 = 0.01).
+func NewModel(det *core.Detector, quantile float64, version int) (*Model, error) {
+	if det == nil {
+		return nil, fmt.Errorf("fleet: nil detector: %w", ErrConfig)
+	}
+	if quantile == 0 {
+		quantile = 0.01
+	}
+	theta, err := det.Threshold(quantile)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	eng, err := det.ScoreEngine()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return &Model{eng: eng, theta: theta, version: version}, nil
+}
+
+// Engine exposes the model's fused scoring engine.
+func (m *Model) Engine() *score.Engine { return m.eng }
+
+// Theta returns the calibrated decision threshold.
+func (m *Model) Theta() float64 { return m.theta }
+
+// Version returns the model's refresh generation.
+func (m *Model) Version() int { return m.version }
+
+// scheduledSwap is one pending hot swap: from interval `at` onward the
+// stream scores under m.
+type scheduledSwap struct {
+	at int
+	m  *Model
+}
+
+// regSlot is one stream's registry entry. The mutex fences the owning
+// worker's reads against concurrent swap scheduling; it is held only
+// for pointer/slice manipulation, never across scoring.
+type regSlot struct {
+	mu      sync.Mutex
+	cur     *Model
+	pending []scheduledSwap // sorted by at ascending
+}
+
+// Registry holds the per-stream copy-on-write model pointers.
+type Registry struct {
+	slots []regSlot
+}
+
+// NewRegistry builds a registry serving `streams` streams, all starting
+// on the base model.
+func NewRegistry(streams int, base *Model) (*Registry, error) {
+	if streams <= 0 {
+		return nil, fmt.Errorf("fleet: %d streams: %w", streams, ErrConfig)
+	}
+	if base == nil {
+		return nil, fmt.Errorf("fleet: nil base model: %w", ErrConfig)
+	}
+	r := &Registry{slots: make([]regSlot, streams)}
+	for i := range r.slots {
+		r.slots[i].cur = base
+	}
+	return r, nil
+}
+
+// Streams reports the registry's stream count.
+func (r *Registry) Streams() int { return len(r.slots) }
+
+// Swap replaces a stream's model immediately: the next interval the
+// owning worker scores uses m. The boundary is whatever interval
+// happens to be next — deterministic relative to the stream's own
+// sequence, but not coordinated with a specific index; use SwapAt for
+// a reproducible boundary.
+func (r *Registry) Swap(stream int, m *Model) error {
+	if err := r.check(stream, m); err != nil {
+		return err
+	}
+	sl := &r.slots[stream]
+	sl.mu.Lock()
+	sl.cur = m
+	sl.pending = sl.pending[:0]
+	sl.mu.Unlock()
+	return nil
+}
+
+// SwapAt schedules a hot swap at an exact interval boundary: intervals
+// with per-stream index >= at score under m. Scheduling the same
+// boundary twice replaces the earlier model; boundaries the stream has
+// already passed apply to its very next interval.
+func (r *Registry) SwapAt(stream, at int, m *Model) error {
+	if err := r.check(stream, m); err != nil {
+		return err
+	}
+	if at < 0 {
+		return fmt.Errorf("fleet: swap at interval %d: %w", at, ErrConfig)
+	}
+	sl := &r.slots[stream]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	for i := range sl.pending {
+		if sl.pending[i].at == at {
+			sl.pending[i].m = m
+			return nil
+		}
+		if sl.pending[i].at > at {
+			sl.pending = append(sl.pending, scheduledSwap{})
+			copy(sl.pending[i+1:], sl.pending[i:])
+			sl.pending[i] = scheduledSwap{at: at, m: m}
+			return nil
+		}
+	}
+	sl.pending = append(sl.pending, scheduledSwap{at: at, m: m})
+	return nil
+}
+
+// SwapAllAt schedules the same boundary swap for every stream — the
+// fleet-wide model refresh.
+func (r *Registry) SwapAllAt(at int, m *Model) error {
+	for s := range r.slots {
+		if err := r.SwapAt(s, at, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ModelFor resolves the model scoring the stream's interval `idx`,
+// applying any scheduled swaps whose boundary has arrived. It must be
+// called with the stream's indices in ascending order by the single
+// owner that assigns them (the shard worker, or the simulator's
+// sequential decision pass); under that contract swap boundaries are
+// exact and the resolution is deterministic.
+//
+//mhm:deterministic
+func (r *Registry) ModelFor(stream, idx int) *Model {
+	sl := &r.slots[stream]
+	sl.mu.Lock()
+	n := 0
+	for n < len(sl.pending) && sl.pending[n].at <= idx {
+		sl.cur = sl.pending[n].m
+		n++
+	}
+	if n > 0 {
+		sl.pending = sl.pending[n:]
+	}
+	m := sl.cur
+	sl.mu.Unlock()
+	return m
+}
+
+// Current returns the stream's live model without advancing scheduled
+// swaps — the read-side view for status exporters.
+func (r *Registry) Current(stream int) (*Model, error) {
+	if stream < 0 || stream >= len(r.slots) {
+		return nil, fmt.Errorf("fleet: stream %d out of [0,%d): %w", stream, len(r.slots), ErrConfig)
+	}
+	sl := &r.slots[stream]
+	sl.mu.Lock()
+	m := sl.cur
+	sl.mu.Unlock()
+	return m, nil
+}
+
+func (r *Registry) check(stream int, m *Model) error {
+	if stream < 0 || stream >= len(r.slots) {
+		return fmt.Errorf("fleet: stream %d out of [0,%d): %w", stream, len(r.slots), ErrConfig)
+	}
+	if m == nil {
+		return fmt.Errorf("fleet: nil model: %w", ErrConfig)
+	}
+	return nil
+}

@@ -1,0 +1,670 @@
+// The deterministic fleet simulator: the test harness the control
+// plane is designed around. Real goroutine interleavings make a live
+// 10k-stream controller impossible to assert decision-by-decision, so
+// the simulator re-runs the same decision functions — RouteStream,
+// admitVerdict, Registry.ModelFor, Autoscaler.Decide — on a virtual
+// microsecond clock with a seeded workload and scripted fault
+// injection. Admission, shedding, hot swaps, resizes and alarm
+// deliveries are decided in a sequential pass over time-sorted events
+// (bit-reproducible by construction); only the scoring of the admitted
+// batch fans out over real goroutines, writing densities into per-slot
+// storage exactly like the training engine's chunk dispatch — so two
+// runs with the same seed produce byte-identical decision traces and
+// alarm sequences at any parallelism, including under -race.
+//
+// The queueing model: each shard serves its FIFO queue one interval at
+// a time, ServiceMicros of virtual work per interval. An admitted
+// interval starts at max(arrival, shard backlog, the stream's previous
+// completion) — the last term preserves per-stream order across a
+// resize that re-homes the stream mid-flight, mirroring the live
+// controller's drain barrier.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/memheatmap/mhm/internal/alarm"
+	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/heatmap"
+	"github.com/memheatmap/mhm/internal/obs"
+	"github.com/memheatmap/mhm/internal/score"
+	"github.com/memheatmap/mhm/internal/train"
+)
+
+// Fault kinds for scripted injection.
+const (
+	// FaultOverload multiplies the affected streams' submission rate by
+	// Factor during the window — the shedding trigger.
+	FaultOverload = "overload"
+	// FaultStall multiplies every shard's service time by Factor during
+	// the window — a slow secure core, the autoscale-up trigger.
+	FaultStall = "stall"
+	// FaultAnomaly makes the affected streams emit anomalous heat maps
+	// during the window — the alarm trigger.
+	FaultAnomaly = "anomaly"
+	// FaultSwap schedules a hot swap to the refreshed model for the
+	// affected streams at per-stream interval boundary SwapInterval.
+	FaultSwap = "swap"
+)
+
+// Fault is one scripted injection.
+type Fault struct {
+	Kind                    string
+	FromMicros, UntilMicros int64
+	// StreamLo, StreamHi bound the affected streams [lo, hi); 0,0 means
+	// every stream.
+	StreamLo, StreamHi int
+	// Factor is the overload rate / stall service multiplier.
+	Factor float64
+	// SwapInterval is the FaultSwap per-stream boundary index.
+	SwapInterval int
+}
+
+func (f *Fault) fill(streams int) error {
+	switch f.Kind {
+	case FaultOverload, FaultStall:
+		if f.Factor <= 0 {
+			return fmt.Errorf("fleet: %s fault factor %g: %w", f.Kind, f.Factor, ErrConfig)
+		}
+	case FaultAnomaly:
+	case FaultSwap:
+		if f.SwapInterval < 0 {
+			return fmt.Errorf("fleet: swap fault at interval %d: %w", f.SwapInterval, ErrConfig)
+		}
+	default:
+		return fmt.Errorf("fleet: unknown fault kind %q: %w", f.Kind, ErrConfig)
+	}
+	if f.StreamLo == 0 && f.StreamHi == 0 {
+		f.StreamHi = streams
+	}
+	if f.StreamLo < 0 || f.StreamHi > streams || f.StreamLo >= f.StreamHi {
+		return fmt.Errorf("fleet: fault streams [%d,%d): %w", f.StreamLo, f.StreamHi, ErrConfig)
+	}
+	if f.UntilMicros == 0 {
+		f.UntilMicros = int64(1) << 62
+	}
+	return nil
+}
+
+// covers reports whether the fault affects stream s at virtual time t.
+//
+//mhm:deterministic
+func (f *Fault) covers(t int64, s int) bool {
+	return t >= f.FromMicros && t < f.UntilMicros && s >= f.StreamLo && s < f.StreamHi
+}
+
+// SimConfig parameterizes one simulation run.
+type SimConfig struct {
+	// Streams is the simulated device population (required).
+	Streams int
+	// Seed drives the workload generator, arrival jitter and detector
+	// training; equal seeds reproduce runs byte-identically.
+	Seed int64
+	// HorizonMicros is the simulated duration (default 300_000 = 30
+	// monitoring intervals).
+	HorizonMicros int64
+	// IntervalMicros is the monitoring interval (default 10_000, the
+	// paper's 10 ms).
+	IntervalMicros int64
+	// JitterMicros bounds per-emission arrival jitter (default 500).
+	JitterMicros int64
+	// Shards is the initial shard count (default 4).
+	Shards int
+	// QueueDepth, MaxPerStream, HighWaterFrac: admission parameters,
+	// defaults as in Config.
+	QueueDepth    int
+	MaxPerStream  int
+	HighWaterFrac float64
+	// ServiceMicros is the virtual analysis cost per interval
+	// (default 50).
+	ServiceMicros int64
+	// Quantile selects the base model's threshold (default 0.01).
+	Quantile float64
+	// Alarm configures per-stream debouncing.
+	Alarm alarm.Config
+	// Scale enables autoscaling when non-nil; PollMicros is the gauge
+	// publication / decision cadence (default 5 intervals).
+	Scale      *ScaleConfig
+	PollMicros int64
+	// Faults is the injection script.
+	Faults []Fault
+	// Workers bounds the real goroutines scoring admitted batches
+	// (default GOMAXPROCS; results are identical for every value).
+	Workers int
+	// Metrics receives the fleet metric set when non-nil.
+	Metrics *obs.Registry
+	// Trace records the decision trace when non-nil.
+	Trace *Trace
+}
+
+func (c *SimConfig) fill() error {
+	if c.Streams <= 0 {
+		return fmt.Errorf("fleet: %d streams: %w", c.Streams, ErrConfig)
+	}
+	if c.HorizonMicros == 0 {
+		c.HorizonMicros = 300_000
+	}
+	if c.IntervalMicros == 0 {
+		c.IntervalMicros = 10_000
+	}
+	if c.HorizonMicros <= 0 || c.IntervalMicros <= 0 || c.JitterMicros < 0 ||
+		c.JitterMicros >= c.IntervalMicros {
+		return fmt.Errorf("fleet: horizon/interval/jitter %d/%d/%d: %w",
+			c.HorizonMicros, c.IntervalMicros, c.JitterMicros, ErrConfig)
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("fleet: %d shards: %w", c.Shards, ErrConfig)
+	}
+	if c.Shards > c.Streams {
+		c.Shards = c.Streams
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 128
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("fleet: queue depth %d: %w", c.QueueDepth, ErrConfig)
+	}
+	if c.MaxPerStream == 0 {
+		c.MaxPerStream = 4
+	}
+	if c.MaxPerStream < 0 {
+		return fmt.Errorf("fleet: per-stream cap %d: %w", c.MaxPerStream, ErrConfig)
+	}
+	if c.HighWaterFrac == 0 {
+		c.HighWaterFrac = 0.75
+	}
+	if c.HighWaterFrac < 0 || c.HighWaterFrac > 1 {
+		return fmt.Errorf("fleet: high-water fraction %g: %w", c.HighWaterFrac, ErrConfig)
+	}
+	if c.ServiceMicros == 0 {
+		c.ServiceMicros = 50
+	}
+	if c.ServiceMicros < 0 {
+		return fmt.Errorf("fleet: service %dµs: %w", c.ServiceMicros, ErrConfig)
+	}
+	if c.Quantile == 0 {
+		c.Quantile = 0.01
+	}
+	if c.PollMicros == 0 {
+		c.PollMicros = 5 * c.IntervalMicros
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	for i := range c.Faults {
+		if err := c.Faults[i].fill(c.Streams); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AlarmEvent is one alarm transition delivered by the fleet.
+type AlarmEvent struct {
+	Stream   int
+	Interval int // per-stream scored interval index
+	Raised   bool
+	// AtMicros is the triggering interval's end time; DeliveredMicros is
+	// when its analysis completed (the operator sees the alarm then).
+	AtMicros        int64
+	DeliveredMicros int64
+}
+
+// SimResult summarizes one run.
+type SimResult struct {
+	Submitted, Admitted, Shed int64
+	Anomalous                 int64
+	SwapsScheduled            int64
+	Resizes                   int
+	FinalShards               int
+	Alarms                    []AlarmEvent
+	// Interval completion latency over admitted intervals, virtual µs.
+	P50IntervalMicros, P99IntervalMicros float64
+	// Alarm delivery latency (completion − interval end) over raise
+	// transitions, virtual µs.
+	P99DeliveryMicros float64
+	MaxQueueFrac      float64
+}
+
+// Sim is one configured simulation. Build with NewSim, run once with
+// Run.
+type Sim struct {
+	cfg SimConfig
+	wl  *Workload
+	det *core.Detector
+	reg *Registry
+	met fleetMetrics
+}
+
+// SimRegion is the heat-map region the simulator monitors: 64 cells of
+// 256 B — small enough that a 100k-stream run scores millions of
+// intervals in seconds, structured enough for the detector to separate
+// the workload's anomalous pattern.
+var SimRegion = heatmap.Def{AddrBase: 0x2000_0000, Size: 64 * 256, Gran: 256}
+
+// NewSim trains the base detector from the seeded workload and prepares
+// the run. The refreshed model (version 2, recalibrated at the sharper
+// θ0.5 threshold) backs FaultSwap injections.
+func NewSim(cfg SimConfig) (*Sim, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	// Autoscaling decides from the obs gauges; without a registry the
+	// gauges read 0 and every poll looks idle. Give the loop a private
+	// registry rather than let it silently shrink to MinShards.
+	if cfg.Scale != nil && cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	wl, err := NewWorkload(cfg.Seed, SimRegion)
+	if err != nil {
+		return nil, err
+	}
+	det, err := wl.TrainDetector(192, 96)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: sim detector: %w", err)
+	}
+	base, err := NewModel(det, cfg.Quantile, 1)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := NewRegistry(cfg.Streams, base)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{cfg: cfg, wl: wl, det: det, reg: reg, met: newFleetMetrics(cfg.Metrics)}, nil
+}
+
+// Detector exposes the trained base detector (tests derive reference
+// scorers from it).
+func (s *Sim) Detector() *core.Detector { return s.det }
+
+// Registry exposes the per-stream model registry (tests assert swap
+// boundaries landed).
+func (s *Sim) Registry() *Registry { return s.reg }
+
+// simEvent is one due submission in a tick bucket.
+type simEvent struct {
+	t      int64
+	stream int
+	genIdx int // generator interval number (includes shed emissions)
+}
+
+// simJob is one admitted interval awaiting scoring.
+type simJob struct {
+	stream    int
+	scoredIdx int // per-stream admitted index (registry boundary domain)
+	genIdx    int
+	mdl       *Model
+	t         int64 // interval end / arrival
+	done      int64 // virtual completion
+	anomalous bool  // generator-level (fault window), not the verdict
+}
+
+// simScratch is one worker's scoring state, pooled across chunks.
+type simScratch struct {
+	scorers map[*score.Engine]*score.Scorer
+	vbuf    []float64
+}
+
+// qitem is one in-flight interval in a shard's FIFO.
+type qitem struct {
+	done   int64
+	stream int
+}
+
+// Run executes the simulation. It may be called once per Sim.
+func (s *Sim) Run() (*SimResult, error) {
+	cfg := &s.cfg
+	tr := cfg.Trace
+
+	var auto *Autoscaler
+	if cfg.Scale != nil {
+		var err error
+		if auto, err = NewAutoscaler(*cfg.Scale, cfg.Metrics); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &SimResult{}
+
+	// Schedule FaultSwap injections up front: boundaries are per-stream
+	// interval indices, so scheduling time does not matter.
+	altModel, err := NewModel(s.det, 0.005, 2)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cfg.Faults {
+		f := &cfg.Faults[i]
+		if f.Kind != FaultSwap {
+			continue
+		}
+		for st := f.StreamLo; st < f.StreamHi; st++ {
+			if err := s.reg.SwapAt(st, f.SwapInterval, altModel); err != nil {
+				return nil, err
+			}
+			res.SwapsScheduled++
+			s.met.swaps.Inc()
+		}
+		tr.Eventf("t=%d swap streams=[%d,%d) at=%d version=%d",
+			f.FromMicros, f.StreamLo, f.StreamHi, f.SwapInterval, altModel.version)
+	}
+
+	// Per-stream state.
+	n := cfg.Streams
+	next := make([]int64, n)   // next emission time
+	genIdx := make([]int, n)   // emissions so far
+	scored := make([]int, n)   // admitted (scored) intervals so far
+	inflight := make([]int, n) // queued, not yet complete
+	lastDone := make([]int64, n)
+	rts := make([]*alarm.Runtime, n)
+	for i := range rts {
+		rt, err := alarm.NewRuntime(cfg.Alarm)
+		if err != nil {
+			return nil, err
+		}
+		rts[i] = rt
+		// Stagger stream phases across the interval.
+		next[i] = int64(splitmix64(uint64(cfg.Seed)^uint64(i)*0x9e3779b97f4a7c15) % uint64(cfg.IntervalMicros))
+	}
+	s.met.streams.Set(float64(n))
+
+	// Shard state.
+	shards := cfg.Shards
+	busyUntil := make([]int64, shards)
+	queues := make([][]qitem, shards)
+	var retired []qitem // in-flight items of removed shards
+	s.met.shards.Set(float64(shards))
+
+	highWater := highWaterMark(cfg.QueueDepth, cfg.HighWaterFrac)
+	lastPoll := int64(-1)
+	// Queue-occupancy high-water mark over the poll window: sampling only
+	// at poll boundaries (after the drain) would understate congestion,
+	// since everything due by then has completed.
+	windowMaxFrac := 0.0
+
+	var latencies, windowLat, deliveryLat []float64
+
+	pool := sync.Pool{New: func() any {
+		return &simScratch{
+			scorers: make(map[*score.Engine]*score.Scorer),
+			vbuf:    make([]float64, SimRegion.Cells()),
+		}
+	}}
+
+	var events []simEvent
+	var admitted []simJob
+	var dens []float64
+
+	for tick := int64(0); tick < cfg.HorizonMicros; tick += cfg.IntervalMicros {
+		tickEnd := tick + cfg.IntervalMicros
+
+		// Gauge publication + autoscale decision at poll boundaries.
+		if tick/cfg.PollMicros != lastPoll/cfg.PollMicros || lastPoll < 0 {
+			lastPoll = tick
+			for sh := range queues {
+				drainShard(queues, inflight, sh, tick)
+			}
+			retired = drainRetired(retired, inflight, tick)
+			maxFrac := windowMaxFrac
+			windowMaxFrac = 0
+			for _, q := range queues {
+				if f := float64(len(q)) / float64(cfg.QueueDepth); f > maxFrac {
+					maxFrac = f
+				}
+			}
+			if maxFrac > res.MaxQueueFrac {
+				res.MaxQueueFrac = maxFrac
+			}
+			p99 := quantileSorted(sortedCopy(windowLat), 0.99)
+			windowLat = windowLat[:0]
+			s.met.queueFrac.Set(maxFrac)
+			s.met.p99.Set(p99)
+			if auto != nil {
+				target, reason := auto.Decide(tick, shards)
+				if target > n {
+					target = n
+				}
+				if target != shards {
+					moved := MovedStreams(n, shards, target)
+					tr.Eventf("t=%d resize %d->%d moved=%d reason=%s", tick, shards, target, moved, reason)
+					// Shrink: surviving in-flight work keeps draining from
+					// the retired list; grow: new shards start idle.
+					for sh := target; sh < shards; sh++ {
+						retired = append(retired, queues[sh]...)
+					}
+					if target < shards {
+						busyUntil = busyUntil[:target]
+						queues = queues[:target]
+					} else {
+						for sh := shards; sh < target; sh++ {
+							busyUntil = append(busyUntil, tick)
+							queues = append(queues, nil)
+						}
+					}
+					shards = target
+					res.Resizes++
+					s.met.resizes.Inc()
+					s.met.shards.Set(float64(shards))
+				}
+			}
+		}
+
+		// Collect the tick's emissions, time-sorted with stream as the
+		// tie-break so the admission order is total.
+		events = events[:0]
+		for st := 0; st < n; st++ {
+			for next[st] < tickEnd {
+				events = append(events, simEvent{t: next[st], stream: st, genIdx: genIdx[st]})
+				genIdx[st]++
+				period := cfg.IntervalMicros
+				for i := range cfg.Faults {
+					f := &cfg.Faults[i]
+					if f.Kind == FaultOverload && f.covers(next[st], st) {
+						period = int64(float64(period) / f.Factor)
+						if period < 1 {
+							period = 1
+						}
+					}
+				}
+				adv := period + s.wl.jitter(st, genIdx[st], cfg.JitterMicros)
+				if adv < 1 {
+					adv = 1
+				}
+				next[st] += adv
+			}
+		}
+		sort.Slice(events, func(i, j int) bool {
+			if events[i].t != events[j].t {
+				return events[i].t < events[j].t
+			}
+			return events[i].stream < events[j].stream
+		})
+
+		// Sequential admission pass: every decision in event order.
+		admitted = admitted[:0]
+		for _, ev := range events {
+			res.Submitted++
+			s.met.submitted.Inc()
+			sh := RouteStream(ev.stream, shards)
+			drainShard(queues, inflight, sh, ev.t)
+			retired = drainRetired(retired, inflight, ev.t)
+			reason := admitVerdict(len(queues[sh]), cfg.QueueDepth, inflight[ev.stream],
+				cfg.MaxPerStream, highWater)
+			if reason != "" {
+				res.Shed++
+				s.met.shed.Inc()
+				tr.Eventf("t=%d shed stream=%d shard=%d qlen=%d inflight=%d reason=%s",
+					ev.t, ev.stream, sh, len(queues[sh]), inflight[ev.stream], reason)
+				continue
+			}
+			idx := scored[ev.stream]
+			scored[ev.stream]++
+			mdl := s.reg.ModelFor(ev.stream, idx)
+			svc := cfg.ServiceMicros
+			for i := range cfg.Faults {
+				f := &cfg.Faults[i]
+				if f.Kind == FaultStall && f.covers(ev.t, ev.stream) {
+					svc = int64(float64(svc) * f.Factor)
+				}
+			}
+			start := ev.t
+			if busyUntil[sh] > start {
+				start = busyUntil[sh]
+			}
+			if lastDone[ev.stream] > start {
+				start = lastDone[ev.stream]
+			}
+			done := start + svc
+			busyUntil[sh] = done
+			lastDone[ev.stream] = done
+			queues[sh] = append(queues[sh], qitem{done: done, stream: ev.stream})
+			inflight[ev.stream]++
+			if f := float64(len(queues[sh])) / float64(cfg.QueueDepth); f > windowMaxFrac {
+				windowMaxFrac = f
+			}
+			anom := false
+			for i := range cfg.Faults {
+				f := &cfg.Faults[i]
+				if f.Kind == FaultAnomaly && f.covers(ev.t, ev.stream) {
+					anom = true
+				}
+			}
+			admitted = append(admitted, simJob{
+				stream: ev.stream, scoredIdx: idx, genIdx: ev.genIdx,
+				mdl: mdl, t: ev.t, done: done, anomalous: anom,
+			})
+			lat := float64(done - ev.t)
+			latencies = append(latencies, lat)
+			windowLat = append(windowLat, lat)
+			res.Admitted++
+			s.met.admitted.Inc()
+			s.met.interval.Observe(lat)
+		}
+
+		// Parallel scoring of the admitted batch: densities land in
+		// per-slot storage, so the fold below is order-independent and
+		// bit-identical at any worker count.
+		if cap(dens) < len(admitted) {
+			dens = make([]float64, len(admitted))
+		}
+		dens = dens[:len(admitted)]
+		train.Chunks(len(admitted), 64, cfg.Workers, func(lo, hi, _ int) {
+			sc := pool.Get().(*simScratch)
+			defer pool.Put(sc)
+			for i := lo; i < hi; i++ {
+				j := &admitted[i]
+				s.wl.VectorInto(sc.vbuf, j.stream, j.genIdx, j.anomalous)
+				scorer := sc.scorers[j.mdl.eng]
+				if scorer == nil {
+					scorer = j.mdl.eng.NewScorer()
+					sc.scorers[j.mdl.eng] = scorer
+				}
+				lp, err := scorer.Score(sc.vbuf)
+				if err != nil {
+					panic("fleet: sim score: " + err.Error())
+				}
+				dens[i] = lp
+			}
+		})
+
+		// Sequential verdict + alarm pass in admission order.
+		for i := range admitted {
+			j := &admitted[i]
+			anomalous := dens[i] < j.mdl.theta
+			if anomalous {
+				res.Anomalous++
+				s.met.anomalous.Inc()
+			}
+			ev := rts[j.stream].Observe(anomalous, j.t)
+			if ev == nil {
+				continue
+			}
+			res.Alarms = append(res.Alarms, AlarmEvent{
+				Stream: j.stream, Interval: j.scoredIdx, Raised: ev.Raised,
+				AtMicros: j.t, DeliveredMicros: j.done,
+			})
+			tr.Eventf("t=%d alarm stream=%d interval=%d raised=%t delivered=%d",
+				j.t, j.stream, j.scoredIdx, ev.Raised, j.done)
+			if ev.Raised {
+				s.met.raised.Inc()
+				deliveryLat = append(deliveryLat, float64(j.done-j.t))
+				s.met.delivery.Observe(float64(j.done - j.t))
+			} else {
+				s.met.cleared.Inc()
+			}
+		}
+	}
+
+	lat := sortedCopy(latencies)
+	res.P50IntervalMicros = quantileSorted(lat, 0.50)
+	res.P99IntervalMicros = quantileSorted(lat, 0.99)
+	res.P99DeliveryMicros = quantileSorted(sortedCopy(deliveryLat), 0.99)
+	res.FinalShards = shards
+	return res, nil
+}
+
+// drainShard completes queued intervals whose virtual finish time has
+// passed, releasing the streams' in-flight slots. A negative shard
+// index is a no-op.
+//
+//mhm:deterministic
+func drainShard(queues [][]qitem, inflight []int, shard int, now int64) {
+	if shard < 0 || shard >= len(queues) {
+		return
+	}
+	q := queues[shard]
+	k := 0
+	for k < len(q) && q[k].done <= now {
+		inflight[q[k].stream]--
+		k++
+	}
+	if k > 0 {
+		queues[shard] = q[:copy(q, q[k:])]
+	}
+}
+
+// drainRetired completes in-flight intervals of removed shards.
+//
+//mhm:deterministic
+func drainRetired(retired []qitem, inflight []int, now int64) []qitem {
+	k := 0
+	for _, it := range retired {
+		if it.done <= now {
+			inflight[it.stream]--
+		} else {
+			retired[k] = it
+			k++
+		}
+	}
+	return retired[:k]
+}
+
+// sortedCopy returns an ascending copy of xs.
+//
+//mhm:deterministic
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// quantileSorted reads the q-quantile from an ascending slice (0 when
+// empty), nearest-rank.
+//
+//mhm:deterministic
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)))
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

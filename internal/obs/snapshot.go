@@ -107,22 +107,33 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.histograms {
-		hs := HistogramSnapshot{
-			Count:   h.count.Load(),
-			Sum:     math.Float64frombits(h.sumBits.Load()),
-			Buckets: make([]BucketSnapshot, len(h.bounds)),
-		}
-		if hs.Count > 0 {
-			hs.Min = math.Float64frombits(h.minBits.Load())
-			hs.Max = math.Float64frombits(h.maxBits.Load())
-		}
-		for i, le := range h.bounds {
-			hs.Buckets[i] = BucketSnapshot{LE: le, Count: h.buckets[i].Load()}
-		}
-		hs.Overflow = h.buckets[len(h.bounds)].Load()
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
+}
+
+// Snapshot copies one histogram's current state into the frozen export
+// form. Safe to call concurrently with Observe; a nil histogram yields
+// an empty snapshot, so read-side consumers (the fleet autoscaler's p99
+// gauge) stay nil-safe like the write side.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	hs := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Buckets: make([]BucketSnapshot, len(h.bounds)),
+	}
+	if hs.Count > 0 {
+		hs.Min = math.Float64frombits(h.minBits.Load())
+		hs.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	for i, le := range h.bounds {
+		hs.Buckets[i] = BucketSnapshot{LE: le, Count: h.buckets[i].Load()}
+	}
+	hs.Overflow = h.buckets[len(h.bounds)].Load()
+	return hs
 }
 
 // WriteJSON writes the snapshot as indented JSON (the frozen schema).

@@ -111,8 +111,11 @@ func NewSharded(det *core.Detector, streams int, cfg ShardedConfig) (*Sharded, e
 		shards = streams
 	}
 	depth := cfg.QueueDepth
-	if depth <= 0 {
+	if depth == 0 {
 		depth = 64
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("pipeline: queue depth %d: %w", depth, ErrConfig)
 	}
 
 	s := &Sharded{

@@ -153,6 +153,11 @@ func TestShardedValidation(t *testing.T) {
 	if _, err := NewSharded(det, 1, ShardedConfig{Quantile: 0.42}); err == nil {
 		t.Error("uncalibrated quantile accepted")
 	}
+	// Zero means default, but negative is a configuration error — it must
+	// not silently fall back like the unset value does.
+	if _, err := NewSharded(det, 1, ShardedConfig{QueueDepth: -1}); err == nil {
+		t.Error("negative queue depth accepted")
+	}
 
 	sh, err := NewSharded(det, 2, ShardedConfig{Shards: 8})
 	if err != nil {
