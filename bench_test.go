@@ -520,6 +520,106 @@ func BenchmarkTraceReadRecord(b *testing.B) {
 	}
 }
 
+// BenchmarkScoreSparse times the sparse panel product on run-length
+// compressed intervals of the §5.4 base configuration; ns/op is per
+// MHM, directly comparable to BenchmarkScoreBatch (the dense blocked
+// kernel) and BenchmarkAnalysisTime_L1472_Lp9_J5 (the staged
+// single-vector loop).
+func BenchmarkScoreSparse(b *testing.B) {
+	fixtures(b)
+	eng, err := fixDet9.ScoreEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := eng.NewScorer()
+	sparse := make([]*heatmap.Sparse, len(fixMaps))
+	for i, m := range fixMaps {
+		sparse[i] = m.Sparsify(nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := sparse[i%len(sparse)]
+		if _, err := s.ScoreSparse(sp.RunStart, sp.RunLen, sp.Counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fused-path fixture: one serialized capture spanning fusedIntervals
+// 10 ms intervals of kernel-text activity at 200 events per interval.
+const fusedIntervalMicros = 10_000
+
+var (
+	fusedTraceOnce sync.Once
+	fusedTrace     []byte
+	fusedIntervals int
+)
+
+func fusedTraceFixture(b *testing.B) {
+	b.Helper()
+	fusedTraceOnce.Do(func() {
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		rng := rand.New(rand.NewSource(7))
+		const perInterval = 200
+		const intervals = 512
+		for i := 0; i < intervals*perInterval; i++ {
+			_ = w.Write(trace.Access{
+				Time:  int64(i) * (fusedIntervalMicros / perInterval),
+				Addr:  kernelmap.TextBase + uint64(rng.Intn(1<<21)),
+				Count: uint32(1 + rng.Intn(8)),
+			})
+		}
+		_ = w.Flush()
+		fusedTrace = buf.Bytes()
+		fusedIntervals = intervals
+	})
+}
+
+// BenchmarkFusedTraceScore times the fused zero-copy ingest path end
+// to end — trace.ReadBatch → memometer.SnoopBatch → sparse collect →
+// ScoreSparse — so ns/op is per scored interval, comparable to the
+// staged AnalysisTime benchmarks plus their collection cost.
+// bytes/interval reports the serialized capture volume each interval
+// ingests. allocs/op must stay 0: the per-pass reader and device
+// reconfiguration amortize below one allocation per interval, and the
+// steady-state loop itself is allocation-free (the bench-smoke CI
+// gate).
+func BenchmarkFusedTraceScore(b *testing.B) {
+	fixtures(b)
+	fusedTraceFixture(b)
+	ts, err := fixDet9.NewTraceScorer(fusedIntervalMicros, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := ts.Device().Config()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; done += fusedIntervals {
+		// Reconfiguring rewinds the device clock so the same capture can
+		// be replayed every pass.
+		if err := ts.Device().Configure(cfg); err != nil {
+			b.Fatal(err)
+		}
+		r := trace.NewReader(bytes.NewReader(fusedTrace))
+		n := 0
+		emit := func(core.IntervalScore) error { n++; return nil }
+		if err := ts.Run(r, emit); err != nil {
+			b.Fatal(err)
+		}
+		if err := ts.FlushAt(int64(fusedIntervals)*fusedIntervalMicros, emit); err != nil {
+			b.Fatal(err)
+		}
+		if n != fusedIntervals {
+			b.Fatalf("scored %d intervals, want %d", n, fusedIntervals)
+		}
+	}
+	// After the loop: ResetTimer wipes custom metrics, so report last.
+	b.ReportMetric(float64(len(fusedTrace))/float64(fusedIntervals), "bytes/interval")
+}
+
 // BenchmarkTraceReadBatch decodes the same capture through ReadBatch
 // blocks of 256; ns/op is per event, directly comparable to
 // BenchmarkTraceReadRecord.

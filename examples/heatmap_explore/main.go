@@ -72,9 +72,9 @@ func main() {
 
 	// Eigenmemory decomposition of normal intervals.
 	maps := collect(img, 2048, 1_000_000, 7)
-	vectors := make([][]float64, len(maps))
-	for i, m := range maps {
-		vectors[i] = m.Vector()
+	vectors, err := heatmap.PackVectors(maps)
+	if err != nil {
+		log.Fatal(err)
 	}
 	model, err := pca.Train(vectors, pca.Options{Components: 8})
 	if err != nil {

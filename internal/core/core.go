@@ -252,10 +252,17 @@ func projectAll(m *pca.Model, vectors [][]float64, workers int) ([][]float64, er
 }
 
 // Residual returns the MHM's reconstruction RMS error — its distance
-// from the learned memory subspace.
+// from the learned memory subspace. With a scoring runtime (detectors
+// from Train or Load) the per-call path is allocation-free.
 func (d *Detector) Residual(m *heatmap.HeatMap) (float64, error) {
 	if m.Def != d.Region {
 		return 0, fmt.Errorf("core: got %+v, trained on %+v: %w", m.Def, d.Region, ErrRegionMismatch)
+	}
+	if rt := d.scoring; rt != nil {
+		s := rt.pool.Get().(*detScratch)
+		defer rt.pool.Put(s)
+		m.VectorInto(s.vbuf)
+		return d.PCA.ReconstructionErrorInto(s.w, s.rec, s.vbuf)
 	}
 	return d.PCA.ReconstructionError(m.Vector())
 }
@@ -387,12 +394,14 @@ func (d *Detector) Recalibrate(calib []*heatmap.HeatMap) error {
 	if len(calib) == 0 {
 		return fmt.Errorf("core: empty recalibration set: %w", ErrConfig)
 	}
-	vecs := make([][]float64, len(calib))
 	for i, m := range calib {
 		if m.Def != d.Region {
 			return fmt.Errorf("core: recalibration MHM %d: %w", i, ErrRegionMismatch)
 		}
-		vecs[i] = m.Vector()
+	}
+	vecs, err := heatmap.PackVectors(calib)
+	if err != nil {
+		return fmt.Errorf("core: recalibration: %w", err)
 	}
 	densities := make([]float64, len(calib))
 	if err := d.scoreVectors(densities, vecs); err != nil {
@@ -442,12 +451,17 @@ type Verdict struct {
 // ClassifySeries scores a sequence of MHMs against every calibrated
 // threshold — the secure core's per-interval loop.
 func (d *Detector) ClassifySeries(maps []*heatmap.HeatMap) ([]Verdict, error) {
-	vecs := make([][]float64, len(maps))
+	if len(maps) == 0 {
+		return nil, nil
+	}
 	for i, m := range maps {
 		if m.Def != d.Region {
 			return nil, fmt.Errorf("core: interval %d: %w", i, ErrRegionMismatch)
 		}
-		vecs[i] = m.Vector()
+	}
+	vecs, err := heatmap.PackVectors(maps)
+	if err != nil {
+		return nil, fmt.Errorf("core: series: %w", err)
 	}
 	densities := make([]float64, len(maps))
 	if err := d.scoreVectors(densities, vecs); err != nil {

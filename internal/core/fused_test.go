@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/memometer"
+	"github.com/memheatmap/mhm/internal/trace"
+)
+
+// synthTrace generates a time-ordered event stream whose intervals look
+// like patternMap activity: each interval emits bursts over the hot
+// cells of an alternating phase blend.
+func synthTrace(rng *rand.Rand, intervals int, intervalMicros int64) []trace.Access {
+	var events []trace.Access
+	for iv := 0; iv < intervals; iv++ {
+		base := int64(iv) * intervalMicros
+		m := patternMap(rng, iv)
+		step := intervalMicros / int64(len(m.Counts)+1)
+		for i, c := range m.Counts {
+			if c == 0 {
+				continue
+			}
+			events = append(events, trace.Access{
+				Time:  base + int64(i)*step,
+				Addr:  testDef.AddrBase + uint64(i)*testDef.Gran,
+				Count: c,
+			})
+		}
+	}
+	return events
+}
+
+func TestTraceScorerMatchesStagedPath(t *testing.T) {
+	d, rng := trainTestDetector(t)
+	const intervalMicros = 10_000
+	const intervals = 12
+	events := synthTrace(rng, intervals, intervalMicros)
+
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	for _, a := range events {
+		if err := tw.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the staged path — per-event device feeding, dense
+	// Collect, LogDensity on the cloned map.
+	dev := memometer.New()
+	if err := dev.Configure(memometer.Config{Region: testDef, IntervalMicros: intervalMicros}); err != nil {
+		t.Fatal(err)
+	}
+	var want []IntervalScore
+	for _, a := range events {
+		if err := dev.SnoopBurst(a.Time, a.Addr, a.Count); err != nil {
+			t.Fatal(err)
+		}
+		for dev.HasPending() {
+			m, err := dev.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp, err := d.LogDensity(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, IntervalScore{Start: m.Start, End: m.End, LogDensity: lp})
+		}
+	}
+	if err := dev.Tick(intervals * intervalMicros); err != nil {
+		t.Fatal(err)
+	}
+	for dev.HasPending() {
+		m, err := dev.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := d.LogDensity(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, IntervalScore{Start: m.Start, End: m.End, LogDensity: lp})
+	}
+	if len(want) != intervals {
+		t.Fatalf("reference produced %d intervals, want %d", len(want), intervals)
+	}
+
+	// Fused path, with a small batch to exercise resubmit-after-boundary.
+	ts, err := d.NewTraceScorer(intervalMicros, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []IntervalScore
+	if err := ts.Run(trace.NewReader(&buf), func(is IntervalScore) error {
+		got = append(got, is)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.FlushAt(intervals*intervalMicros, func(is IntervalScore) error {
+		got = append(got, is)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("fused path produced %d intervals, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Start != want[i].Start || got[i].End != want[i].End {
+			t.Errorf("interval %d bounds [%d,%d], want [%d,%d]",
+				i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+		}
+		if got[i].LogDensity != want[i].LogDensity {
+			t.Errorf("interval %d log density %v, want %v (must be bit-identical)",
+				i, got[i].LogDensity, want[i].LogDensity)
+		}
+		if got[i].NNZ == 0 {
+			t.Errorf("interval %d reports zero occupied cells", i)
+		}
+	}
+
+	st := ts.Device().Stats()
+	if st.Intervals != uint64(intervals) || st.Overruns != 0 {
+		t.Errorf("device stats %+v, want %d intervals, 0 overruns", st, intervals)
+	}
+}
+
+func TestTraceScorerFeedAllocationFree(t *testing.T) {
+	d, rng := trainTestDetector(t)
+	const intervalMicros = 10_000
+	ts, err := d.NewTraceScorer(intervalMicros, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit := func(IntervalScore) error { return nil }
+	// Warm every growable buffer with two full intervals.
+	warm := synthTrace(rng, 2, intervalMicros)
+	if err := ts.Feed(warm, emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.FlushAt(2*intervalMicros, emit); err != nil {
+		t.Fatal(err)
+	}
+	events := synthTrace(rng, 1, intervalMicros)
+	base := int64(2 * intervalMicros)
+	clock := base
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := range events {
+			events[i].Time = clock + int64(i) // keep time monotone across runs
+		}
+		if err := ts.Feed(events, emit); err != nil {
+			t.Fatal(err)
+		}
+		clock += intervalMicros
+		if err := ts.FlushAt(clock, emit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm fused cycle allocates %.1f times per interval, want 0", allocs)
+	}
+}
+
+func TestTraceScorerErrors(t *testing.T) {
+	d, _ := trainTestDetector(t)
+	if _, err := d.NewTraceScorer(0, 0); err == nil {
+		t.Error("NewTraceScorer accepted a zero interval")
+	}
+	ts, err := d.NewTraceScorer(10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-monotone time inside Feed surfaces the device error.
+	bad := []trace.Access{
+		{Time: 100, Addr: testDef.AddrBase, Count: 1},
+		{Time: 50, Addr: testDef.AddrBase, Count: 1},
+	}
+	if err := ts.Feed(bad, func(IntervalScore) error { return nil }); err == nil {
+		t.Error("Feed accepted a time-reversed stream")
+	}
+}

@@ -25,6 +25,7 @@ type detScratch struct {
 	sc   *score.Scorer // fused single/batch scoring
 	vbuf []float64     // length L: HeatMap.VectorInto target
 	w    []float64     // length L': staged projection output
+	rec  []float64     // length L: residual reconstruction scratch
 	gs   *gmm.Scratch  // staged density evaluation scratch
 }
 
@@ -46,6 +47,7 @@ func newScoring(cells int, p *pca.Model, g *gmm.Model) *scoring {
 			sc:   eng.NewScorer(),
 			vbuf: make([]float64, l),
 			w:    make([]float64, lp),
+			rec:  make([]float64, l),
 			gs:   g.NewScratch(),
 		}
 	}

@@ -198,3 +198,30 @@ func TestConcurrentScoringConsistent(t *testing.T) {
 		}
 	}
 }
+
+// TestResidualAllocationFree: the residual check shares the pooled
+// scratch with scoring, so per-interval residual monitoring stays
+// allocation-free, and the pooled path reproduces the allocating
+// fallback bit for bit.
+func TestResidualAllocationFree(t *testing.T) {
+	d, rng := trainTestDetector(t)
+	m := patternMap(rng, 0)
+	want, err := stagedCopy(d).Residual(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Residual(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("pooled residual %v, staged %v", got, want)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := d.Residual(m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("pooled Residual allocates %.1f/op, want 0", n)
+	}
+}

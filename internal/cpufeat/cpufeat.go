@@ -1,0 +1,44 @@
+// Package cpufeat detects the SIMD features the scoring and training
+// kernels dispatch on. It is a dependency-free stand-in for
+// golang.org/x/sys/cpu: the repo is stdlib-only, so the amd64 probe
+// hand-rolls CPUID/XGETBV instead of importing the x repo.
+//
+// Detection runs once at package init. Features can be masked for
+// testing and fallback qualification through the same GODEBUG
+// convention x/sys/cpu honours: GODEBUG=cpu.avx2=off disables AVX2
+// dispatch, GODEBUG=cpu.asimd=off disables NEON on arm64, and
+// GODEBUG=cpu.all=off forces the portable reference kernels
+// everywhere. Masking is strictly one-way — GODEBUG can turn a
+// detected feature off, never fabricate one the hardware lacks.
+package cpufeat
+
+import (
+	"os"
+	"strings"
+)
+
+// X86 reports the amd64 vector extensions the kernels care about.
+// HasAVX2 is true only when the CPU advertises AVX2, the OS has
+// enabled YMM state (XGETBV), and GODEBUG has not masked it.
+// Always false on other architectures.
+var X86 struct {
+	HasAVX2 bool
+}
+
+// ARM64 reports the arm64 vector extensions. ASIMD (NEON) is
+// architecturally mandatory on AArch64, so HasASIMD is true on arm64
+// unless masked via GODEBUG. Always false on other architectures.
+var ARM64 struct {
+	HasASIMD bool
+}
+
+// disabled reports whether GODEBUG masks the named feature, via
+// either cpu.<feature>=off or the cpu.all=off blanket switch.
+func disabled(feature string) bool {
+	for _, kv := range strings.Split(os.Getenv("GODEBUG"), ",") {
+		if kv == "cpu.all=off" || kv == "cpu."+feature+"=off" {
+			return true
+		}
+	}
+	return false
+}

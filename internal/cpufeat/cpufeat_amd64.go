@@ -1,0 +1,41 @@
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf and
+// subleaf. Implemented in cpuid_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (extended control register 0), which tells us
+// whether the OS context-switches the YMM half of the AVX registers.
+// Only legal once CPUID.1:ECX.OSXSAVE is confirmed. Implemented in
+// cpuid_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	X86.HasAVX2 = detectAVX2() && !disabled("avx2")
+}
+
+// detectAVX2 follows the Intel SDM recipe: AVX2 use is safe only when
+// the CPU supports it (CPUID.7.0:EBX[5]), the CPU exposes XGETBV
+// (CPUID.1:ECX[27] OSXSAVE) alongside AVX (CPUID.1:ECX[28]), and the
+// OS has enabled both XMM and YMM state saving (XCR0[2:1] == 11b).
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	const xmmState = 1 << 1
+	const ymmState = 1 << 2
+	if xcr0&(xmmState|ymmState) != xmmState|ymmState {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

@@ -1,0 +1,13 @@
+package cpufeat
+
+import "testing"
+
+func TestDetectIsStable(t *testing.T) {
+	// CPUID is a pure function of the hardware; repeated probes must
+	// agree with the init-time answer modulo the GODEBUG mask.
+	for i := 0; i < 3; i++ {
+		if got := detectAVX2() && !disabled("avx2"); got != X86.HasAVX2 {
+			t.Fatalf("probe %d: detectAVX2 = %v, init said %v", i, got, X86.HasAVX2)
+		}
+	}
+}

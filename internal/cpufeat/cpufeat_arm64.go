@@ -1,0 +1,7 @@
+package cpufeat
+
+// ASIMD (NEON) is part of the AArch64 baseline — every arm64 CPU Go
+// runs on has it — so no probing is needed, only the GODEBUG mask.
+func init() {
+	ARM64.HasASIMD = !disabled("asimd")
+}

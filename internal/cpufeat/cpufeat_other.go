@@ -1,0 +1,6 @@
+//go:build !amd64 && !arm64
+
+package cpufeat
+
+// No vector extensions are probed on other architectures; the kernels
+// fall back to the portable Go reference implementations.

@@ -1,0 +1,56 @@
+package cpufeat
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+func TestDisabledParsesGODEBUG(t *testing.T) {
+	cases := []struct {
+		godebug string
+		feature string
+		want    bool
+	}{
+		{"", "avx2", false},
+		{"cpu.avx2=off", "avx2", true},
+		{"cpu.avx2=off", "asimd", false},
+		{"cpu.all=off", "avx2", true},
+		{"cpu.all=off", "asimd", true},
+		{"gctrace=1,cpu.avx2=off,schedtrace=100", "avx2", true},
+		{"cpu.avx2=on", "avx2", false},
+		{"cpu.avx512=off", "avx2", false},
+	}
+	old, had := os.LookupEnv("GODEBUG")
+	defer func() {
+		if had {
+			os.Setenv("GODEBUG", old)
+		} else {
+			os.Unsetenv("GODEBUG")
+		}
+	}()
+	for _, c := range cases {
+		os.Setenv("GODEBUG", c.godebug)
+		if got := disabled(c.feature); got != c.want {
+			t.Errorf("disabled(%q) with GODEBUG=%q = %v, want %v", c.feature, c.godebug, got, c.want)
+		}
+	}
+}
+
+func TestFeatureFlagsMatchArch(t *testing.T) {
+	// Cross-arch sanity: a feature must never be reported for a
+	// foreign architecture, and GODEBUG masking must win over
+	// detection on the native one.
+	if runtime.GOARCH != "amd64" && X86.HasAVX2 {
+		t.Errorf("X86.HasAVX2 = true on %s", runtime.GOARCH)
+	}
+	if runtime.GOARCH != "arm64" && ARM64.HasASIMD {
+		t.Errorf("ARM64.HasASIMD = true on %s", runtime.GOARCH)
+	}
+	if disabled("avx2") && X86.HasAVX2 {
+		t.Error("X86.HasAVX2 = true although GODEBUG masks avx2")
+	}
+	if disabled("asimd") && ARM64.HasASIMD {
+		t.Error("ARM64.HasASIMD = true although GODEBUG masks asimd")
+	}
+}

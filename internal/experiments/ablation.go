@@ -91,9 +91,14 @@ func (l *Lab) LPrimeSweep(lprimes []int, seedBase int64) (*LPrimeSweepResult, er
 		if err != nil {
 			return nil, err
 		}
+		cells, lprime := det.Dim()
+		vbuf := make([]float64, cells)
+		wbuf := make([]float64, lprime)
+		rbuf := make([]float64, cells)
 		var recon float64
 		for _, m := range holdout {
-			e, err := det.PCA.ReconstructionError(m.Vector())
+			m.VectorInto(vbuf)
+			e, err := det.PCA.ReconstructionErrorInto(wbuf, rbuf, vbuf)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/memheatmap/mhm/internal/heatmap"
 	"github.com/memheatmap/mhm/internal/pca"
 	"github.com/memheatmap/mhm/internal/rtos"
 	"github.com/memheatmap/mhm/internal/securecore"
@@ -87,9 +88,9 @@ func (l *Lab) AnalysisTime(seedBase int64, samples int) (*AnalysisTimeResult, er
 		if len(maps) == 0 {
 			return nil, fmt.Errorf("experiments: analysis config %d: no test MHMs: %w", i, ErrExperiment)
 		}
-		vectors := make([][]float64, len(maps))
-		for j, m := range maps {
-			vectors[j] = m.Vector()
+		vectors, err := heatmap.PackVectors(maps)
+		if err != nil {
+			return nil, err
 		}
 		// Warm up, then measure.
 		if _, err := det.LogDensityVector(vectors[0]); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/memheatmap/mhm/internal/heatmap"
 	"github.com/memheatmap/mhm/internal/pca"
 )
 
@@ -38,14 +39,20 @@ func (r Fig6Result) String() string {
 // fresh sample, as in the paper's worked example.
 func (l *Lab) Fig6(seedBase int64) (*Fig6Result, error) {
 	const lprime = 16
-	var train [][]float64
+	var trainMaps []*heatmap.HeatMap
 	for run := 0; run < l.Scale.TrainRuns; run++ {
 		maps, err := l.CollectNormal(seedBase+int64(run), l.Scale.TrainRunMicros)
 		if err != nil {
 			return nil, err
 		}
-		for _, m := range maps {
-			train = append(train, m.Vector())
+		trainMaps = append(trainMaps, maps...)
+	}
+	var train [][]float64
+	if len(trainMaps) > 0 {
+		var err error
+		train, err = heatmap.PackVectors(trainMaps)
+		if err != nil {
+			return nil, err
 		}
 	}
 	if len(train) <= lprime {

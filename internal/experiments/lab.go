@@ -178,9 +178,9 @@ func (l *Lab) TrainDetector(seedBase int64) (*core.Detector, TrainingReport, err
 	// Training log-likelihood for the report, as one pass through the
 	// detector's batched scoring engine (Σ log Pr over the training set,
 	// summed in the same order TotalLogLikelihood would).
-	vecs := make([][]float64, len(train))
-	for i, m := range train {
-		vecs[i] = m.Vector()
+	vecs, err := heatmap.PackVectors(train)
+	if err != nil {
+		return nil, TrainingReport{}, err
 	}
 	dens := make([]float64, len(train))
 	if err := det.LogDensityBatch(dens, vecs); err != nil {

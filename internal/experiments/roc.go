@@ -101,9 +101,12 @@ func (l *Lab) ROC(det *core.Detector, seedBase int64, ps []float64) (*ROCResult,
 // batchDensities scores a capture in one pass through the detector's
 // batched engine; element i matches det.LogDensity(maps[i]) bit for bit.
 func batchDensities(det *core.Detector, maps []*heatmap.HeatMap) ([]float64, error) {
-	vecs := make([][]float64, len(maps))
-	for i, m := range maps {
-		vecs[i] = m.Vector()
+	if len(maps) == 0 {
+		return nil, nil
+	}
+	vecs, err := heatmap.PackVectors(maps)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, len(maps))
 	if err := det.LogDensityBatch(out, vecs); err != nil {
@@ -155,9 +158,9 @@ func (l *Lab) AutoJ(seedBase int64, minJ, maxJ int) (*AutoJResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	vecs := make([][]float64, len(maps))
-	for i, m := range maps {
-		vecs[i] = m.Vector()
+	vecs, err := heatmap.PackVectors(maps)
+	if err != nil {
+		return nil, err
 	}
 	reduced, err := det.PCA.ProjectAll(vecs)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/memheatmap/mhm/internal/core"
+	"github.com/memheatmap/mhm/internal/heatmap"
 	"github.com/memheatmap/mhm/internal/pipeline"
 )
 
@@ -63,9 +64,9 @@ func (l *Lab) ScoringThroughput(det *core.Detector, seedBase int64, repeats int)
 	if len(maps) == 0 {
 		return nil, fmt.Errorf("experiments: scoring: no test MHMs: %w", ErrExperiment)
 	}
-	vecs := make([][]float64, len(maps))
-	for i, m := range maps {
-		vecs[i] = m.Vector()
+	vecs, err := heatmap.PackVectors(maps)
+	if err != nil {
+		return nil, err
 	}
 	dst := make([]float64, len(vecs))
 

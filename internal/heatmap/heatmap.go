@@ -61,6 +61,8 @@ func (d Def) ShiftBits() uint {
 }
 
 // Cells returns L, the number of cells: ceil(Size/Gran).
+//
+//mhm:hotpath
 func (d Def) Cells() int {
 	return int((d.Size + d.Gran - 1) / d.Gran)
 }

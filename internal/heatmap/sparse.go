@@ -1,0 +1,245 @@
+// The sparse MHM representation. A monitoring interval touches a
+// handful of hot cells in an otherwise empty region, so the dense
+// Counts vector is overwhelmingly zeros; Sparse stores only the
+// occupied cells as index+count runs, shrinking per-interval buffers
+// and fleet-scale memory bandwidth, and feeding the run-aware scoring
+// path (score.Scorer.ScoreSparse) without densifying.
+package heatmap
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sparse is the run-length form of one MHM: run r covers the
+// RunLen[r] consecutive occupied cells starting at cell RunStart[r],
+// whose counts sit contiguously in Counts (Σ RunLen == len(Counts)).
+// Runs are in ascending cell order and separated by at least one
+// empty cell; zero counts never appear inside a run. The zero value
+// is an empty map with no definition; (*HeatMap).Sparsify and Reset
+// establish the invariants.
+type Sparse struct {
+	Def Def
+	// Start and End are the interval bounds in simulation microseconds.
+	Start, End int64
+	// RunStart[r] is the first cell of run r; RunLen[r] its cell count.
+	RunStart []int32
+	RunLen   []int32
+	// Counts holds the per-cell counts of all runs, concatenated.
+	Counts []uint32
+}
+
+// Reset re-targets s to a new (empty) interval, keeping the backing
+// arrays for reuse.
+func (s *Sparse) Reset(d Def, start, end int64) {
+	s.Def = d
+	s.Start, s.End = start, end
+	s.RunStart = s.RunStart[:0]
+	s.RunLen = s.RunLen[:0]
+	s.Counts = s.Counts[:0]
+}
+
+// NNZ returns the number of occupied cells.
+func (s *Sparse) NNZ() int { return len(s.Counts) }
+
+// MemBytes returns the payload size of the sparse form (runs plus
+// counts, excluding the fixed header) — the bandwidth a fleet moves
+// per interval in place of 4·Cells() dense bytes.
+func (s *Sparse) MemBytes() int {
+	return 4*len(s.RunStart) + 4*len(s.RunLen) + 4*len(s.Counts)
+}
+
+// appendRun appends one run, growing the backing arrays as needed.
+func (s *Sparse) appendRun(start int32, counts []uint32) {
+	s.RunStart = append(s.RunStart, start)
+	s.RunLen = append(s.RunLen, int32(len(counts)))
+	s.Counts = append(s.Counts, counts...)
+}
+
+// Sparsify converts h to run-length form. dst's backing arrays are
+// reused when large enough (pass the same dst every interval for an
+// allocation-free steady state); a nil dst allocates a fresh Sparse.
+func (h *HeatMap) Sparsify(dst *Sparse) *Sparse {
+	if dst == nil {
+		dst = &Sparse{}
+	}
+	dst.Reset(h.Def, h.Start, h.End)
+	counts := h.Counts
+	for i := 0; i < len(counts); {
+		if counts[i] == 0 {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(counts) && counts[j] != 0 {
+			j++
+		}
+		dst.appendRun(int32(i), counts[i:j])
+		i = j
+	}
+	return dst
+}
+
+// Dense expands s back to a dense HeatMap. dst is reused when it has
+// the right cell count (its counts are overwritten); a nil or
+// mis-sized dst allocates. Sparsify and Dense are exact inverses:
+// Dense(Sparsify(h)) reproduces h's definition, interval, and counts.
+func (s *Sparse) Dense(dst *HeatMap) *HeatMap {
+	l := s.Def.Cells()
+	if dst == nil || len(dst.Counts) != l {
+		dst = &HeatMap{Counts: make([]uint32, l)}
+	}
+	dst.Def = s.Def
+	dst.Start, dst.End = s.Start, s.End
+	for i := range dst.Counts {
+		dst.Counts[i] = 0
+	}
+	s.scatter(dst.Counts)
+	return dst
+}
+
+// scatter writes the run counts into a zeroed dense array.
+func (s *Sparse) scatter(counts []uint32) {
+	off := 0
+	for r, st := range s.RunStart {
+		n := int(s.RunLen[r])
+		copy(counts[int(st):int(st)+n], s.Counts[off:off+n])
+		off += n
+	}
+}
+
+// Validate checks the run invariants: ascending, non-adjacent,
+// positive-length runs within the cell count, run lengths consistent
+// with the flat counts, and no zero count inside a run.
+func (s *Sparse) Validate() error {
+	if err := s.Def.Validate(); err != nil {
+		return err
+	}
+	if len(s.RunStart) != len(s.RunLen) {
+		return fmt.Errorf("heatmap: sparse: %d run starts, %d run lengths: %w",
+			len(s.RunStart), len(s.RunLen), ErrConfig)
+	}
+	l := s.Def.Cells()
+	next := int32(0) // earliest legal start of the next run
+	total := 0
+	for r, st := range s.RunStart {
+		n := s.RunLen[r]
+		if n <= 0 || st < next || int(st)+int(n) > l {
+			return fmt.Errorf("heatmap: sparse: run %d [%d,+%d) invalid for %d cells: %w",
+				r, st, n, l, ErrConfig)
+		}
+		next = st + n + 1 // at least one empty cell between runs
+		total += int(n)
+	}
+	if total != len(s.Counts) {
+		return fmt.Errorf("heatmap: sparse: runs cover %d cells, %d counts: %w",
+			total, len(s.Counts), ErrConfig)
+	}
+	for i, c := range s.Counts {
+		if c == 0 {
+			return fmt.Errorf("heatmap: sparse: zero count at flat index %d: %w", i, ErrConfig)
+		}
+	}
+	return nil
+}
+
+// Total returns the sum of all cell counts, matching
+// (*HeatMap).Total on the dense form.
+func (s *Sparse) Total() uint64 {
+	var t uint64
+	for _, c := range s.Counts {
+		t += uint64(c)
+	}
+	return t
+}
+
+// VectorInto widens s into the dense float64 vector the learning
+// pipeline consumes: zeros everywhere except the run cells. It panics
+// on length mismatch, like (*HeatMap).VectorInto. Allocation-free.
+//
+//mhm:hotpath
+func (s *Sparse) VectorInto(dst []float64) {
+	if len(dst) != s.Def.Cells() {
+		panic("heatmap: Sparse.VectorInto: dst length differs from cell count")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	off := 0
+	for r, st := range s.RunStart {
+		n := int(s.RunLen[r])
+		seg := dst[int(st) : int(st)+n]
+		for i := range seg {
+			seg[i] = float64(s.Counts[off+i])
+		}
+		off += n
+	}
+}
+
+// Vector returns the densified counts as a fresh float64 vector.
+func (s *Sparse) Vector() []float64 {
+	out := make([]float64, s.Def.Cells())
+	s.VectorInto(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Sparse) Clone() *Sparse {
+	out := &Sparse{
+		Def:      s.Def,
+		Start:    s.Start,
+		End:      s.End,
+		RunStart: append([]int32(nil), s.RunStart...),
+		RunLen:   append([]int32(nil), s.RunLen...),
+		Counts:   append([]uint32(nil), s.Counts...),
+	}
+	return out
+}
+
+// Add accumulates s's counts into the dense map h (saturating); both
+// must share a definition.
+func (s *Sparse) Add(h *HeatMap) error {
+	if s.Def != h.Def {
+		return fmt.Errorf("heatmap: sparse Add across definitions %+v and %+v: %w", s.Def, h.Def, ErrConfig)
+	}
+	off := 0
+	for r, st := range s.RunStart {
+		n := int(s.RunLen[r])
+		for i := 0; i < n; i++ {
+			idx := int(st) + i
+			cur := h.Counts[idx]
+			c := s.Counts[off+i]
+			if cur > math.MaxUint32-c {
+				h.Counts[idx] = math.MaxUint32
+			} else {
+				h.Counts[idx] = cur + c
+			}
+		}
+		off += n
+	}
+	return nil
+}
+
+// PackVectorsSparse widens a set of equally-defined sparse maps into
+// dense float64 vectors sharing one contiguous backing array — the
+// same layout PackVectors builds from dense maps, but produced
+// straight from the run-length form: one allocation for the whole
+// set and only NNZ scatter-writes per map beyond the zero fill.
+func PackVectorsSparse(maps []*Sparse) ([][]float64, error) {
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("heatmap: PackVectorsSparse: empty set: %w", ErrConfig)
+	}
+	def := maps[0].Def
+	l := def.Cells()
+	backing := make([]float64, len(maps)*l)
+	out := make([][]float64, len(maps))
+	for i, m := range maps {
+		if m.Def != def {
+			return nil, fmt.Errorf("heatmap: PackVectorsSparse: map %d definition differs: %w", i, ErrConfig)
+		}
+		v := backing[i*l : (i+1)*l : (i+1)*l]
+		m.VectorInto(v)
+		out[i] = v
+	}
+	return out, nil
+}

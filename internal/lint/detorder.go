@@ -22,7 +22,11 @@
 //
 // Dynamic interface calls and calls through func values are not
 // traversed — the annotated caller vouches for what it injects, exactly
-// as the hotpath analyzer treats func-valued callees.
+// as the hotpath analyzer treats func-valued callees. One class of func
+// value IS traversed: a reference to a //mhm:hotpath dispatch variable
+// (a runtime kernel dispatch table) reaches every function the module
+// statically binds to it, so whichever kernel init selects, its body
+// was walked.
 package lint
 
 import (
@@ -90,6 +94,17 @@ func detSet(prog *Program) map[types.Object]detReach {
 			queue = append(queue, obj)
 		}
 	}
+	enqueue := func(fn types.Object, root types.Object) {
+		if _, seen := reached[fn]; seen {
+			return
+		}
+		fd := prog.declOf(fn)
+		if fd == nil || fd.decl.Body == nil {
+			return
+		}
+		reached[fn] = detReach{fn: fd, root: root}
+		queue = append(queue, fn)
+	}
 	for len(queue) > 0 {
 		obj := queue[0]
 		queue = queue[1:]
@@ -99,22 +114,27 @@ func detSet(prog *Program) map[types.Object]detReach {
 			if !ok {
 				return true
 			}
-			fn, ok := r.fn.pkg.Info.Uses[id].(*types.Func)
+			used := r.fn.pkg.Info.Uses[id]
+			// A dispatch-table reference reaches every kernel the module
+			// binds to the table: calls through the variable execute one
+			// of them, and which one is a CPU-feature choice the
+			// determinism contract must not depend on.
+			if prog.IsDispatchVar(used) {
+				for _, b := range prog.dispatchBind[used] {
+					if b.fn != nil {
+						enqueue(b.fn, r.root)
+					}
+				}
+				return true
+			}
+			fn, ok := used.(*types.Func)
 			if !ok || isInterfaceMethod(fn) {
 				return true
 			}
 			if fn.Pkg() == nil || !prog.isLocal(fn.Pkg().Path()) {
 				return true
 			}
-			if _, seen := reached[fn]; seen {
-				return true
-			}
-			fd := prog.declOf(fn)
-			if fd == nil || fd.decl.Body == nil {
-				return true
-			}
-			reached[fn] = detReach{fn: fd, root: r.root}
-			queue = append(queue, fn)
+			enqueue(fn, r.root)
 			return true
 		})
 	}

@@ -293,6 +293,27 @@ func (d *Device) Collect() (*heatmap.HeatMap, error) {
 	return out, nil
 }
 
+// CollectSparse hands the completed MHM to the secure core in
+// run-length form, reusing dst's backing arrays, and frees the
+// on-chip memory for the next swap — the zero-copy variant of Collect
+// for the fused ingest→snoop→score path: no dense clone is
+// materialized, and with a warmed dst the steady state is
+// allocation-free.
+func (d *Device) CollectSparse(dst *heatmap.Sparse) error {
+	if !d.configured {
+		return ErrNotConfigured
+	}
+	if d.pending == nil {
+		return ErrNotReady
+	}
+	d.pending.Sparsify(dst)
+	d.pending.Reset()
+	d.shadow = d.pending
+	d.pending = nil
+	d.met.pending.Set(0)
+	return nil
+}
+
 // Run pumps a time-ordered access stream through the device, invoking
 // collect for every completed MHM. It is the software equivalent of the
 // secure core polling at interval boundaries.

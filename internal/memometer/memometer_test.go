@@ -395,3 +395,102 @@ func TestSnoopBatchPropagatesErrors(t *testing.T) {
 		t.Fatalf("consumed %d events before the error, want 1", n)
 	}
 }
+
+func TestCollectSparseMatchesCollect(t *testing.T) {
+	// Two identically-driven devices: one collected densely, one
+	// sparsely. The sparse collection must densify to the same MHM and
+	// leave the device in the same state (buffer recycled, pending
+	// cleared).
+	dd := mustDevice(t)
+	ds := mustDevice(t)
+	events := []trace.Access{
+		{Time: 100, Addr: 0x1000, Count: 3},
+		{Time: 200, Addr: 0x1F00, Count: 1},
+		{Time: 950, Addr: 0x1200, Count: 7},
+		{Time: 1100, Addr: 0x1000, Count: 2}, // crosses into interval 2
+	}
+	for _, a := range events {
+		if err := dd.SnoopBurst(a.Time, a.Addr, a.Count); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.SnoopBurst(a.Time, a.Addr, a.Count); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dense, err := dd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp heatmap.Sparse
+	if err := ds.CollectSparse(&sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("CollectSparse produced invalid runs: %v", err)
+	}
+	back := sp.Dense(nil)
+	if back.Def != dense.Def || back.Start != dense.Start || back.End != dense.End {
+		t.Errorf("sparse header %+v [%d,%d], dense %+v [%d,%d]",
+			back.Def, back.Start, back.End, dense.Def, dense.Start, dense.End)
+	}
+	for i := range dense.Counts {
+		if back.Counts[i] != dense.Counts[i] {
+			t.Fatalf("cell %d: sparse %d, dense %d", i, back.Counts[i], dense.Counts[i])
+		}
+	}
+	if ds.HasPending() {
+		t.Error("pending not cleared after CollectSparse")
+	}
+	// Device keeps double-buffering: next interval still collects.
+	if err := ds.Tick(2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.CollectSparse(&sp); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Dense(nil).Counts[0]; got != 2 {
+		t.Errorf("interval 2 cell 0 = %d, want 2", got)
+	}
+}
+
+func TestCollectSparseErrors(t *testing.T) {
+	var sp heatmap.Sparse
+	if err := New().CollectSparse(&sp); !errors.Is(err, ErrNotConfigured) {
+		t.Errorf("unconfigured CollectSparse: %v, want ErrNotConfigured", err)
+	}
+	d := mustDevice(t)
+	if err := d.CollectSparse(&sp); !errors.Is(err, ErrNotReady) {
+		t.Errorf("CollectSparse without pending: %v, want ErrNotReady", err)
+	}
+}
+
+func TestCollectSparseAllocationFree(t *testing.T) {
+	d := mustDevice(t)
+	var sp heatmap.Sparse
+	// Warm the backing arrays once.
+	if err := d.Snoop(100, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Tick(1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CollectSparse(&sp); err != nil {
+		t.Fatal(err)
+	}
+	clock := int64(1000)
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := d.Snoop(clock+100, 0x1000); err != nil {
+			t.Fatal(err)
+		}
+		clock += 1000
+		if err := d.Tick(clock); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CollectSparse(&sp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm CollectSparse cycle allocates %.1f times, want 0", allocs)
+	}
+}

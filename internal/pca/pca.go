@@ -271,13 +271,30 @@ func (m *Model) Reconstruct(w []float64) ([]float64, error) {
 // ReconstructionError returns the RMS error of projecting and
 // reconstructing v.
 func (m *Model) ReconstructionError(v []float64) (float64, error) {
-	w, err := m.Project(v)
-	if err != nil {
+	l, lp := m.Dim()
+	return m.ReconstructionErrorInto(make([]float64, lp), make([]float64, l), v)
+}
+
+// ReconstructionErrorInto is ReconstructionError with caller-provided
+// scratch — w of length L' and rec of length L — so per-interval
+// residual checks run allocation-free. Results are bit-identical to
+// ReconstructionError.
+func (m *Model) ReconstructionErrorInto(w, rec, v []float64) (float64, error) {
+	if err := m.ProjectInto(w, v); err != nil {
 		return 0, err
 	}
-	rec, err := m.Reconstruct(w)
-	if err != nil {
-		return 0, err
+	l, _ := m.Dim()
+	if len(rec) != l {
+		return 0, fmt.Errorf("pca: ReconstructionErrorInto: rec length %d, want %d: %w", len(rec), l, ErrTraining)
+	}
+	copy(rec, m.Mean)
+	for j, wj := range w {
+		if mat.IsZero(wj) {
+			continue
+		}
+		for i := 0; i < l; i++ {
+			rec[i] += wj * m.Components.At(i, j)
+		}
 	}
 	return mat.DistEuclid(v, rec) / math.Sqrt(float64(len(v))), nil
 }

@@ -53,10 +53,12 @@ type streamState struct {
 	rt      *alarm.Runtime
 }
 
-// workItem is one queued interval.
+// workItem is one queued interval, dense or run-length (exactly one of
+// m and sp is set).
 type workItem struct {
 	stream int
 	m      *heatmap.HeatMap
+	sp     *heatmap.Sparse
 }
 
 // Sharded scores N concurrent monitored streams over a fixed pool of
@@ -172,6 +174,29 @@ func (s *Sharded) Submit(stream int, m *heatmap.HeatMap) error {
 	return nil
 }
 
+// SubmitSparse queues one completed interval in run-length form — the
+// fused-path hand-off from memometer.Device.CollectSparse. The worker
+// scores the runs directly (score.Scorer.ScoreSparse), bit-identical to
+// Submit on the densified map, without widening into the shard's dense
+// buffer. The caller must not reuse sp's backing arrays until the
+// interval appears in Records; collect each interval into a fresh (or
+// rotation-pooled) Sparse when feeding a pipeline.
+func (s *Sharded) SubmitSparse(stream int, sp *heatmap.Sparse) error {
+	if stream < 0 || stream >= len(s.streams) {
+		return fmt.Errorf("pipeline: stream %d out of [0,%d): %w", stream, len(s.streams), ErrConfig)
+	}
+	if sp.Def != s.region {
+		return fmt.Errorf("pipeline: stream %d: %w", stream, core.ErrRegionMismatch)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("pipeline: submit after close: %w", ErrConfig)
+	}
+	s.chans[stream%len(s.chans)] <- workItem{stream: stream, sp: sp}
+	return nil
+}
+
 // run is one shard worker: it drains the shard's FIFO queue, scoring
 // each interval with the worker's private Scorer and appending to the
 // owning stream's record in submission order.
@@ -180,17 +205,27 @@ func (s *Sharded) run(shard int) {
 	w := s.workers[shard]
 	for it := range s.chans[shard] {
 		start := time.Now()
-		it.m.VectorInto(w.vbuf)
-		lp, err := w.sc.Score(w.vbuf)
+		var lp float64
+		var err error
+		ivStart, ivEnd := int64(0), int64(0)
+		if it.sp != nil {
+			lp, err = w.sc.ScoreSparse(it.sp.RunStart, it.sp.RunLen, it.sp.Counts)
+			ivStart, ivEnd = it.sp.Start, it.sp.End
+		} else {
+			it.m.VectorInto(w.vbuf)
+			lp, err = w.sc.Score(w.vbuf)
+			ivStart, ivEnd = it.m.Start, it.m.End
+		}
 		if err != nil {
 			// Unreachable: Submit pinned the region, so the vector length
-			// always matches the engine.
+			// always matches the engine, and CollectSparse-produced runs
+			// satisfy ScoreSparse's invariants.
 			panic("pipeline: sharded score: " + err.Error())
 		}
 		anomalous := lp < s.theta
 		rec := IntervalRecord{
-			Start:          it.m.Start,
-			End:            it.m.End,
+			Start:          ivStart,
+			End:            ivEnd,
 			LogDensity:     lp,
 			Anomalous:      anomalous,
 			AnalysisMicros: float64(time.Since(start).Nanoseconds()) / 1e3,
@@ -199,7 +234,7 @@ func (s *Sharded) run(shard int) {
 		st.mu.Lock()
 		rec.Index = st.index
 		st.index++
-		rec.Event = st.rt.Observe(anomalous, it.m.End)
+		rec.Event = st.rt.Observe(anomalous, ivEnd)
 		st.records = append(st.records, rec)
 		st.mu.Unlock()
 

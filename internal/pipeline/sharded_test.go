@@ -226,3 +226,95 @@ func TestParallelTrainingDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestSubmitSparseMatchesSubmit: the run-length submission path must
+// reproduce the dense path bit for bit — same densities, same verdicts,
+// same alarm transitions — since it feeds the same scoring engine
+// through ScoreSparse instead of VectorInto+Score.
+func TestSubmitSparseMatchesSubmit(t *testing.T) {
+	det, _ := trainDetector(t, false)
+	const streams, intervals = 3, 120
+	series := make([][]*heatmap.HeatMap, streams)
+	for i := range series {
+		series[i] = streamSeries(rand.New(rand.NewSource(int64(300+i))), i, intervals)
+	}
+
+	score := func(sparse bool) [][]IntervalRecord {
+		sh, err := NewSharded(det, streams, ShardedConfig{Shards: 2, QueueDepth: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < streams; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for _, m := range series[i] {
+					if sparse {
+						if err := sh.SubmitSparse(i, m.Sparsify(nil)); err != nil {
+							t.Error(err)
+							return
+						}
+					} else if err := sh.Submit(i, m); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		sh.Close()
+		out := make([][]IntervalRecord, streams)
+		for i := range out {
+			recs, err := sh.Records(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = recs
+		}
+		return out
+	}
+	dense, sparse := score(false), score(true)
+
+	for i := 0; i < streams; i++ {
+		if len(sparse[i]) != len(dense[i]) {
+			t.Fatalf("stream %d: %d sparse records, %d dense", i, len(sparse[i]), len(dense[i]))
+		}
+		for j := range dense[i] {
+			d, sp := dense[i][j], sparse[i][j]
+			if sp.Start != d.Start || sp.End != d.End {
+				t.Fatalf("stream %d interval %d: sparse bounds (%d,%d), dense (%d,%d)",
+					i, j, sp.Start, sp.End, d.Start, d.End)
+			}
+			if math.Float64bits(sp.LogDensity) != math.Float64bits(d.LogDensity) {
+				t.Fatalf("stream %d interval %d: sparse density %v, dense %v",
+					i, j, sp.LogDensity, d.LogDensity)
+			}
+			if sp.Anomalous != d.Anomalous || (sp.Event != nil) != (d.Event != nil) {
+				t.Fatalf("stream %d interval %d: sparse verdict/alarm (%v,%v), dense (%v,%v)",
+					i, j, sp.Anomalous, sp.Event != nil, d.Anomalous, d.Event != nil)
+			}
+		}
+	}
+}
+
+// TestSubmitSparseValidation covers the sparse-path submission errors.
+func TestSubmitSparseValidation(t *testing.T) {
+	det, rng := trainDetector(t, false)
+	sh, err := NewSharded(det, 1, ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := patternMap(rng, 0).Sparsify(nil)
+	if err := sh.SubmitSparse(1, sp); err == nil {
+		t.Error("out-of-range stream accepted")
+	}
+	foreign, _ := heatmap.New(heatmap.Def{AddrBase: 0, Size: 1024, Gran: 256})
+	if err := sh.SubmitSparse(0, foreign.Sparsify(nil)); err == nil {
+		t.Error("foreign region accepted")
+	}
+	sh.Close()
+	if err := sh.SubmitSparse(0, sp); err == nil {
+		t.Error("submit after close accepted")
+	}
+}

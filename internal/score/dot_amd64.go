@@ -2,14 +2,52 @@
 
 package score
 
-// dotPacked8 accumulates eight dot products against one panel-row tile
-// over a column-major packed block: out[k] += Σ_i row[i]·packed[i*8+k].
-// The SSE2 kernel (baseline amd64, no feature detection needed) assigns
-// each of the eight vectors its own SIMD lane; every lane multiplies
-// then adds in ascending index order, exactly like the scalar loop, so
-// chaining the accumulators across tiles stays bit-identical to
-// mat.Dot. len(packed) must be 8·len(row).
+import "github.com/memheatmap/mhm/internal/cpufeat"
+
+// dotPacked8SSE2 is the amd64 baseline kernel (SSE2 needs no feature
+// detection): each of the eight vectors owns one SIMD lane; every lane
+// multiplies then adds in ascending index order, exactly like the
+// scalar loop, so chaining the accumulators across tiles stays
+// bit-identical to mat.Dot. len(packed) must be 8·len(row).
 //
 //mhm:hotpath
 //go:noescape
-func dotPacked8(row, packed []float64, out *[8]float64)
+func dotPacked8SSE2(row, packed []float64, out *[8]float64)
+
+// dotPacked8AVX2 is the 4-lane-wide variant: two YMM accumulators
+// cover all eight lanes, with separate VMULPD/VADDPD (no FMA — fused
+// rounding would break the bit-identity contract detorder enforces).
+//
+//mhm:hotpath
+//go:noescape
+func dotPacked8AVX2(row, packed []float64, out *[8]float64)
+
+// dotPacked8x2AVX2 fuses two panel rows over one packed tile: four
+// YMM accumulators give each row its own add chains, doubling
+// throughput on the latency-bound dot loop. Per-row arithmetic is
+// exactly dotPacked8AVX2's. len(row1) must equal len(row0).
+//
+//mhm:hotpath
+//go:noescape
+func dotPacked8x2AVX2(row0, row1, packed []float64, out0, out1 *[8]float64)
+
+// colMask64AVX2 computes the 64-column occupancy bitmask of eight
+// lanes with a VPOR tree per four columns, a VPSLLQ to drop the sign
+// bits, and a VPCMPEQQ/VMOVMSKPD pair to turn zero-tests into mask
+// bits. All lanes must hold at least i+64 elements.
+//
+//mhm:hotpath
+//go:noescape
+func colMask64AVX2(v0, v1, v2, v3, v4, v5, v6, v7 []float64, i int) uint64
+
+func init() {
+	if cpufeat.X86.HasAVX2 {
+		kernelName = "avx2"
+		dotPacked8 = dotPacked8AVX2
+		dotPacked8x2 = dotPacked8x2AVX2
+		colMask64 = colMask64AVX2
+	} else {
+		kernelName = "sse2"
+		dotPacked8 = dotPacked8SSE2
+	}
+}

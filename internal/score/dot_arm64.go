@@ -1,0 +1,21 @@
+//go:build arm64
+
+package score
+
+import "github.com/memheatmap/mhm/internal/cpufeat"
+
+// dotPacked8NEON is the arm64 kernel: four 128-bit vector accumulators
+// cover the eight lanes, using unfused FMUL/FADD pairs (no FMLA — the
+// fused rounding would break the bit-identity contract detorder
+// enforces). len(packed) must be 8·len(row).
+//
+//mhm:hotpath
+//go:noescape
+func dotPacked8NEON(row, packed []float64, out *[8]float64)
+
+func init() {
+	if cpufeat.ARM64.HasASIMD {
+		kernelName = "neon"
+		dotPacked8 = dotPacked8NEON
+	}
+}

@@ -1,0 +1,44 @@
+// NEON micro-kernel for the batched eigenmemory projection. The Go
+// arm64 assembler has no mnemonics for the unfused two-double vector
+// FMUL/FADD, so those two instructions are emitted as WORD-encoded
+// machine code (encodings verified against `go tool objdump`, which
+// round-trips them back to FMUL/FADD V*.D2). FMLA is deliberately not
+// used: fusing the multiply-add would change rounding and break the
+// bit-identity contract the detorder analyzer enforces.
+
+#include "textflag.h"
+
+// func dotPacked8NEON(row, packed []float64, out *[8]float64)
+TEXT ·dotPacked8NEON(SB), NOSPLIT, $0-56
+	MOVD row_base+0(FP), R0
+	MOVD row_len+8(FP), R1
+	MOVD packed_base+24(FP), R2
+	MOVD out+48(FP), R3
+
+	// Running lane accumulators: V0 = lanes 0,1 ... V3 = lanes 6,7.
+	VLD1 (R3), [V0.D2, V1.D2, V2.D2, V3.D2]
+
+	CBZ R1, done
+
+loop:
+	// Broadcast row[i] into both halves of V8.
+	FMOVD (R0), F8
+	VDUP  V8.D[0], V8.D2
+
+	VLD1.P 64(R2), [V9.D2, V10.D2, V11.D2, V12.D2]
+	WORD   $0x6E68DD29 // FMUL V9.2D, V9.2D, V8.2D
+	WORD   $0x4E69D400 // FADD V0.2D, V0.2D, V9.2D
+	WORD   $0x6E68DD4A // FMUL V10.2D, V10.2D, V8.2D
+	WORD   $0x4E6AD421 // FADD V1.2D, V1.2D, V10.2D
+	WORD   $0x6E68DD6B // FMUL V11.2D, V11.2D, V8.2D
+	WORD   $0x4E6BD442 // FADD V2.2D, V2.2D, V11.2D
+	WORD   $0x6E68DD8C // FMUL V12.2D, V12.2D, V8.2D
+	WORD   $0x4E6CD463 // FADD V3.2D, V3.2D, V12.2D
+
+	ADD  $8, R0
+	SUB  $1, R1
+	CBNZ R1, loop
+
+done:
+	VST1 [V0.D2, V1.D2, V2.D2, V3.D2], (R3)
+	RET

@@ -1,0 +1,59 @@
+package score
+
+// Runtime kernel dispatch. The package-level function variables below
+// are bound exactly once, at package init, to the widest kernel the
+// CPU supports (internal/cpufeat probes features and honours
+// GODEBUG=cpu.<feature>=off masking); after init they are never
+// reassigned, so hot-path calls through them are data-race-free and
+// branch-predictable. Every candidate implementation obeys the same
+// contract as dotPacked8Ref — per-lane multiply-then-add in ascending
+// index order, no FMA — so dispatch never changes a single bit of any
+// score. mhmlint extends its hotpath and detorder checks through these
+// tables: each function assigned here must itself be //mhm:hotpath,
+// and the detorder walk treats a call through the variable as a call
+// to every bound kernel.
+
+// dotPacked8 accumulates eight packed dot products against one
+// panel-row tile: out[k] += Σ_i row[i]·packed[i*8+k], with
+// len(packed) == 8·len(row).
+//
+//mhm:hotpath
+var dotPacked8 func(row, packed []float64, out *[8]float64) = dotPacked8Ref
+
+// dotPacked8x2 runs dotPacked8 for two panel rows over one resident
+// packed tile (len(row1) == len(row0)). Fusing the rows doubles the
+// independent accumulator chains, hiding the vector-add latency that
+// bounds the single-row kernel; lane arithmetic per row is exactly
+// dotPacked8's, so results stay bit-identical.
+//
+//mhm:hotpath
+var dotPacked8x2 func(row0, row1, packed []float64, out0, out1 *[8]float64) = dotPacked8x2Split
+
+// colMask64, when non-nil, returns the occupancy bitmask of 64 batch
+// columns starting at column i: bit c is set iff any of the eight
+// lanes has a value other than ±0.0 at column i+c (i+64 must be
+// within the lanes' shared length). It only accelerates the
+// zero-column scan — a set/clear bit matches exactly the scalar
+// Float64bits test in projectBatchInto — so scores are unaffected by
+// whether it is bound. Nil when the CPU has no suitable kernel.
+//
+//mhm:hotpath
+var colMask64 func(v0, v1, v2, v3, v4, v5, v6, v7 []float64, i int) uint64
+
+// kernelName records which projection kernel dispatch selected, for
+// benchmarks and reports.
+var kernelName = "go"
+
+// Kernel reports the projection kernel selected at startup: "avx2",
+// "sse2", "neon", or "go".
+func Kernel() string { return kernelName }
+
+// dotPacked8x2Split is the two-row fallback for targets without a
+// fused two-row kernel: two sweeps through whatever single-row kernel
+// dispatch selected.
+//
+//mhm:hotpath
+func dotPacked8x2Split(row0, row1, packed []float64, out0, out1 *[8]float64) {
+	dotPacked8(row0, packed, out0)
+	dotPacked8(row1, packed, out1)
+}

@@ -1,15 +1,15 @@
-//go:build !amd64
-
 package score
 
-// dotPacked8 accumulates eight dot products against one panel-row tile
-// over a column-major packed block: out[k] += Σ_i row[i]·packed[i*8+k].
-// Pure-Go fallback for non-amd64 targets; the eight independent
+// dotPacked8Ref accumulates eight dot products against one panel-row
+// tile over a column-major packed block: out[k] += Σ_i row[i]·packed[i*8+k].
+// Portable reference implementation, compiled on every architecture:
+// it anchors the cross-kernel bit-identity fuzz and serves as the
+// dispatch fallback when no SIMD kernel applies. The eight independent
 // accumulators each sum in ascending index order, so chaining them
 // across tiles stays bit-identical to mat.Dot.
 //
 //mhm:hotpath
-func dotPacked8(row, packed []float64, out *[8]float64) {
+func dotPacked8Ref(row, packed []float64, out *[8]float64) {
 	s0, s1, s2, s3 := out[0], out[1], out[2], out[3]
 	s4, s5, s6, s7 := out[4], out[5], out[6], out[7]
 	for i, x := range row {

@@ -1,0 +1,243 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// kernelVariant is one dispatchable kernel configuration. variants()
+// (per-arch test files) lists every configuration the host can run;
+// each must reproduce the portable reference bit for bit, which is the
+// contract that lets init-time dispatch never change a score.
+type kernelVariant struct {
+	name string
+	dot  func(row, packed []float64, out *[8]float64)
+	x2   func(row0, row1, packed []float64, out0, out1 *[8]float64) // nil = split fallback
+	mask func(v0, v1, v2, v3, v4, v5, v6, v7 []float64, i int) uint64
+}
+
+// withKernels runs f with the dispatch tables temporarily rebound to
+// kv, restoring the init-time binding afterwards. Tests using it must
+// not run in parallel.
+func withKernels(t *testing.T, kv kernelVariant, f func()) {
+	t.Helper()
+	oldDot, oldX2, oldMask := dotPacked8, dotPacked8x2, colMask64
+	dotPacked8 = kv.dot
+	if kv.x2 != nil {
+		dotPacked8x2 = kv.x2
+	} else {
+		dotPacked8x2 = dotPacked8x2Split
+	}
+	colMask64 = kv.mask
+	defer func() {
+		dotPacked8, dotPacked8x2, colMask64 = oldDot, oldX2, oldMask
+	}()
+	f()
+}
+
+// sameBits is the cross-kernel equality contract: exact bit identity
+// for every non-NaN value (covering signed zeros, infinities and
+// denormals), and NaN-for-NaN agreement without comparing payloads.
+// IEEE NaN payload propagation depends on operand order, which the
+// compiler is free to pick for the scalar reference, so payload-exact
+// NaN equality is not a property any kernel can promise — and trained
+// models guarantee finite panels and vectors, so NaN results never
+// arise outside adversarial tests like these.
+func sameBits(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// specialValue mixes in the adversarial float64s the bit-identity
+// contract must survive: signed zeros, infinities, NaN, denormals.
+func specialValue(rng *rand.Rand) float64 {
+	switch rng.Intn(12) {
+	case 0:
+		return math.Copysign(0, -1)
+	case 1:
+		return 0
+	case 2:
+		return math.Inf(1)
+	case 3:
+		return math.Inf(-1)
+	case 4:
+		return math.NaN()
+	case 5:
+		return 5e-324 // smallest denormal
+	default:
+		return rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+	}
+}
+
+// TestDotKernelsBitIdentical compares every host kernel against
+// dotPacked8Ref on the raw kernel contract, including adversarial
+// inputs and pre-seeded accumulators.
+func TestDotKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, rows := range []int{0, 1, 2, 7, 8, 63, 256} {
+		row0 := make([]float64, rows)
+		row1 := make([]float64, rows)
+		packed := make([]float64, rows*8)
+		for i := range row0 {
+			row0[i] = specialValue(rng)
+			row1[i] = specialValue(rng)
+		}
+		for i := range packed {
+			packed[i] = specialValue(rng)
+		}
+		var seed [8]float64
+		for k := range seed {
+			seed[k] = rng.NormFloat64()
+		}
+		want0, want1 := seed, seed
+		dotPacked8Ref(row0, packed, &want0)
+		dotPacked8Ref(row1, packed, &want1)
+
+		for _, kv := range kernelVariants() {
+			got0, got1 := seed, seed
+			kv.dot(row0, packed, &got0)
+			for k := range got0 {
+				if !sameBits(got0[k], want0[k]) {
+					t.Fatalf("%s rows=%d lane %d: %v, want %v (bits %x vs %x)",
+						kv.name, rows, k, got0[k], want0[k],
+						math.Float64bits(got0[k]), math.Float64bits(want0[k]))
+				}
+			}
+			if kv.x2 == nil {
+				continue
+			}
+			got0, got1 = seed, seed
+			kv.x2(row0, row1, packed, &got0, &got1)
+			for k := range got0 {
+				if !sameBits(got0[k], want0[k]) || !sameBits(got1[k], want1[k]) {
+					t.Fatalf("%s x2 rows=%d lane %d: (%v,%v), want (%v,%v)",
+						kv.name, rows, k, got0[k], got1[k], want0[k], want1[k])
+				}
+			}
+		}
+	}
+}
+
+// TestColMask64MatchesScalar pins the occupancy-scan kernels to the
+// scalar Float64bits test in projectBatchInto: a bit is set iff some
+// lane holds anything but ±0.0 — NaN, Inf and denormals all count as
+// occupied; both zeros do not.
+func TestColMask64MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const cols = 192
+	lanes := make([][]float64, 8)
+	for k := range lanes {
+		lanes[k] = make([]float64, cols)
+		for i := range lanes[k] {
+			switch rng.Intn(4) {
+			case 0:
+				lanes[k][i] = specialValue(rng)
+			case 1:
+				lanes[k][i] = math.Copysign(0, -1)
+			default:
+				// Mostly zero columns, like real sparse batches.
+			}
+		}
+	}
+	scalar := func(i int) uint64 {
+		var m uint64
+		for c := 0; c < 64; c++ {
+			var bits uint64
+			for k := range lanes {
+				bits |= math.Float64bits(lanes[k][i+c]) << 1
+			}
+			if bits != 0 {
+				m |= 1 << uint(c)
+			}
+		}
+		return m
+	}
+	for _, kv := range kernelVariants() {
+		if kv.mask == nil {
+			continue
+		}
+		for _, i := range []int{0, 64, 128} {
+			got := kv.mask(lanes[0], lanes[1], lanes[2], lanes[3], lanes[4], lanes[5], lanes[6], lanes[7], i)
+			if want := scalar(i); got != want {
+				t.Fatalf("%s colMask64(i=%d) = %#x, want %#x", kv.name, i, got, want)
+			}
+		}
+	}
+}
+
+// testEngine builds a small Engine literal with a deterministic finite
+// panel, as trained models guarantee.
+func testEngine(l, lp int, seed int64) *Engine {
+	rng := rand.New(rand.NewSource(seed))
+	e := &Engine{
+		l:       l,
+		lp:      lp,
+		panel:   make([]float64, lp*l),
+		meanOff: make([]float64, lp),
+	}
+	for i := range e.panel {
+		e.panel[i] = rng.NormFloat64()
+	}
+	for j := range e.meanOff {
+		e.meanOff[j] = rng.NormFloat64()
+	}
+	return e
+}
+
+// FuzzProjectBatchAcrossKernels drives the full batch projection —
+// zero-column compaction, tile gathering, row pairing — under every
+// host kernel configuration and demands bit-identical outputs,
+// including on batches laden with zero columns, signed zeros, NaN and
+// Inf. This is the dispatch-level guarantee behind "dispatch never
+// changes a score".
+func FuzzProjectBatchAcrossKernels(f *testing.F) {
+	f.Add(int64(1), 300, 6, 9, uint8(10))
+	f.Add(int64(2), 64, 4, 8, uint8(0))
+	f.Add(int64(3), 513, 3, 17, uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, l, lp, batch int, density uint8) {
+		if l < 1 || l > 1024 || lp < 1 || lp > 16 || batch < 8 || batch > 24 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		e := testEngine(l, lp, seed)
+		vecs := make([][]float64, batch)
+		for b := range vecs {
+			v := make([]float64, l)
+			for i := range v {
+				if int(density) > 0 && rng.Intn(256) < int(density) {
+					v[i] = specialValue(rng)
+				}
+			}
+			vecs[b] = v
+		}
+		tl := l
+		if tl > tileI {
+			tl = tileI
+		}
+		run := func(kv kernelVariant) []float64 {
+			wb := make([]float64, batch*lp)
+			pk := make([]float64, 8*tl)
+			prow := make([]float64, 2*tileI)
+			acc := make([]float64, 8*lp)
+			ridx := make([]int32, tl)
+			withKernels(t, kv, func() {
+				e.projectBatchInto(wb, pk, prow, acc, ridx, vecs)
+			})
+			return wb
+		}
+		ref := run(kernelVariant{name: "go", dot: dotPacked8Ref})
+		for _, kv := range kernelVariants() {
+			got := run(kv)
+			for i := range ref {
+				if !sameBits(got[i], ref[i]) {
+					t.Fatalf("%s: wb[%d] = %v, reference %v (bits %x vs %x)",
+						kv.name, i, got[i], ref[i],
+						math.Float64bits(got[i]), math.Float64bits(ref[i]))
+				}
+			}
+		}
+	})
+}

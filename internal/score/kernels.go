@@ -4,7 +4,10 @@
 // all storage; slices passed in are presized by the Scorer.
 package score
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // projectInto computes the eigenmemory projection w = uᵀv − uᵀΨ as L'
 // sweeps over the contiguous panel. Accumulation order matches mat.Dot,
@@ -28,18 +31,33 @@ func (e *Engine) projectInto(w, v []float64) {
 const tileI = 256
 
 // projectBatchInto projects B vectors into wb (row b = reduced vector
-// b). Full blocks of eight vectors run through a packed, L1-tiled
-// panel product: each i-tile is transposed column-major into pk
-// (pk[i*8+k] = vecs[b+k][lo+i]) exactly once, then every panel row
-// accumulates its partial dots over the resident tile via dotPacked8 —
-// on amd64 an SSE2 kernel where each vector owns one SIMD lane, so a
-// MULPD/ADDPD pair retires two mul-adds. Per-row, per-lane accumulators
-// in acc chain across tiles in ascending i, so every lane still sums in
-// mat.Dot index order and each reduced vector is bit-identical to the
-// single-vector path. The remainder block falls back to projectInto.
+// b). Full blocks of eight vectors run through a packed, L1-tiled,
+// zero-compacted panel product; the remainder block falls back to
+// projectInto.
+//
+// Per i-tile, one fused scan ORs the raw float64 bits of all eight
+// lanes per column: columns whose every lane is ±0.0 are dropped, the
+// survivors transposed column-major into pk (pk[t*8+k] = lane k of the
+// t-th retained column) with their tile-relative indices in ridx. Heat
+// maps are overwhelmingly empty (a handful of hot cells per interval),
+// so this typically shrinks the kernel work by 20×+. Panel rows then
+// gather the retained entries into prow and sweep the compacted tile
+// via dotPacked8x2 (two rows per pass — doubling the add chains the
+// dot loop is latency-bound on), with per-row, per-lane accumulators
+// in acc chained across tiles in ascending i.
+//
+// Dropping a column only skips terms row[i]·x where x is ±0.0. Those
+// products are themselves ±0.0 for any finite row[i], and adding ±0.0
+// to an accumulator that is not -0.0 is a bitwise no-op; since every
+// accumulator starts at +0.0 and a sum that includes a non-negative-
+// zero term can never yield -0.0, each lane remains bit-identical to
+// the full mat.Dot sweep — provided the panel is finite (true for any
+// trained model; a NaN/Inf panel entry would have propagated through
+// training long before scoring). NaN/Inf *inputs* are never dropped:
+// their bit patterns survive the OR test and stay in the kernel sweep.
 //
 //mhm:hotpath
-func (e *Engine) projectBatchInto(wb, pk, acc []float64, vecs [][]float64) {
+func (e *Engine) projectBatchInto(wb, pk, prow, acc []float64, ridx []int32, vecs [][]float64) {
 	l, lp := e.l, e.lp
 	b := 0
 	for ; b+8 <= len(vecs); b += 8 {
@@ -47,20 +65,74 @@ func (e *Engine) projectBatchInto(wb, pk, acc []float64, vecs [][]float64) {
 		for x := range acc {
 			acc[x] = 0
 		}
+		v0, v1, v2, v3 := vecs[b], vecs[b+1], vecs[b+2], vecs[b+3]
+		v4, v5, v6, v7 := vecs[b+4], vecs[b+5], vecs[b+6], vecs[b+7]
 		for lo := 0; lo < l; lo += tileI {
 			hi := lo + tileI
 			if hi > l {
 				hi = l
 			}
-			n := hi - lo
-			for k := 0; k < 8; k++ {
-				v := vecs[b+k][lo:hi]
-				for i, x := range v {
-					pk[i*8+k] = x
+			// Scan: keep a column if any lane has bits besides the sign.
+			// With an occupancy kernel bound, 64 columns are tested per
+			// call and only set bits are packed; the scalar loop covers
+			// the tail (and everything, on targets without the kernel).
+			nz := 0
+			t0, t1, t2, t3 := v0[lo:hi], v1[lo:hi], v2[lo:hi], v3[lo:hi]
+			t4, t5, t6, t7 := v4[lo:hi], v5[lo:hi], v6[lo:hi], v7[lo:hi]
+			i := 0
+			if colMask64 != nil {
+				for ; i+64 <= len(t0); i += 64 {
+					bm := colMask64(t0, t1, t2, t3, t4, t5, t6, t7, i)
+					for bm != 0 {
+						c := i + bits.TrailingZeros64(bm)
+						bm &= bm - 1
+						p := pk[nz*8 : nz*8+8 : nz*8+8]
+						p[0], p[1], p[2], p[3] = t0[c], t1[c], t2[c], t3[c]
+						p[4], p[5], p[6], p[7] = t4[c], t5[c], t6[c], t7[c]
+						ridx[nz] = int32(c)
+						nz++
+					}
 				}
 			}
-			for j := 0; j < lp; j++ {
-				dotPacked8(e.panel[j*l+lo:j*l+hi], pk[:n*8], (*[8]float64)(acc[j*8:j*8+8]))
+			for ; i < len(t0); i++ {
+				x0, x1, x2, x3 := t0[i], t1[i], t2[i], t3[i]
+				x4, x5, x6, x7 := t4[i], t5[i], t6[i], t7[i]
+				m := math.Float64bits(x0) | math.Float64bits(x1) |
+					math.Float64bits(x2) | math.Float64bits(x3) |
+					math.Float64bits(x4) | math.Float64bits(x5) |
+					math.Float64bits(x6) | math.Float64bits(x7)
+				if m<<1 == 0 {
+					continue
+				}
+				p := pk[nz*8 : nz*8+8 : nz*8+8]
+				p[0], p[1], p[2], p[3] = x0, x1, x2, x3
+				p[4], p[5], p[6], p[7] = x4, x5, x6, x7
+				ridx[nz] = int32(i)
+				nz++
+			}
+			if nz == 0 {
+				continue
+			}
+			g0 := prow[:nz]
+			g1 := prow[tileI : tileI+nz]
+			j := 0
+			for ; j+2 <= lp; j += 2 {
+				r0 := e.panel[j*l+lo : j*l+hi]
+				r1 := e.panel[(j+1)*l+lo : (j+1)*l+hi]
+				for t := 0; t < nz; t++ {
+					ii := int(ridx[t])
+					g0[t] = r0[ii]
+					g1[t] = r1[ii]
+				}
+				dotPacked8x2(g0, g1, pk[:nz*8],
+					(*[8]float64)(acc[j*8:j*8+8]), (*[8]float64)(acc[(j+1)*8:(j+1)*8+8]))
+			}
+			if j < lp {
+				r0 := e.panel[j*l+lo : j*l+hi]
+				for t := 0; t < nz; t++ {
+					g0[t] = r0[int(ridx[t])]
+				}
+				dotPacked8(g0, pk[:nz*8], (*[8]float64)(acc[j*8:j*8+8]))
 			}
 		}
 		for j := 0; j < lp; j++ {
@@ -72,6 +144,33 @@ func (e *Engine) projectBatchInto(wb, pk, acc []float64, vecs [][]float64) {
 	}
 	for ; b < len(vecs); b++ {
 		e.projectInto(wb[b*lp:(b+1)*lp], vecs[b])
+	}
+}
+
+// projectSparse computes the eigenmemory projection of one interval
+// given only its nonzero cells, as run-length coordinates: run r
+// covers cells starts[r]..starts[r]+lens[r]-1 and sv carries the
+// widened cell values in run order. Each panel row sweeps the runs in
+// ascending cell order, so — by the same ±0.0 argument as
+// projectBatchInto — the result is bit-identical to projectInto on the
+// densified vector.
+//
+//mhm:hotpath
+func (e *Engine) projectSparse(w, sv []float64, starts, lens []int32) {
+	l, lp := e.l, e.lp
+	for j := 0; j < lp; j++ {
+		row := e.panel[j*l : (j+1)*l]
+		s := 0.0
+		off := 0
+		for r, st := range starts {
+			n := int(lens[r])
+			seg := row[int(st) : int(st)+n]
+			for i, x := range seg {
+				s += x * sv[off+i]
+			}
+			off += n
+		}
+		w[j] = s - e.meanOff[j]
 	}
 }
 

@@ -123,6 +123,9 @@ type Scorer struct {
 	wb    []float64 // batch panel output, grown to B·L' on demand
 	pk    []float64 // column-major packed tile, 8·min(L, tileI) once batching
 	acc   []float64 // per-row, per-lane batch accumulators, 8·L'
+	prow  []float64 // two gathered panel-row tiles, 2·min(L, tileI)
+	ridx  []int32   // retained column indices of the current tile
+	sv    []float64 // widened sparse cell values, grown to NNZ on demand
 }
 
 // NewScorer returns a Scorer over e with its own scratch.
@@ -189,11 +192,52 @@ func (s *Scorer) ScoreBatch(dst []float64, vecs [][]float64) error {
 		}
 		s.pk = make([]float64, 8*t)
 		s.acc = make([]float64, 8*s.e.lp)
+		s.prow = make([]float64, 2*tileI)
+		s.ridx = make([]int32, t)
 	}
 	wb := s.wb[:need]
-	s.e.projectBatchInto(wb, s.pk, s.acc, vecs)
+	s.e.projectBatchInto(wb, s.pk, s.prow, s.acc, s.ridx, vecs)
 	for b := range vecs {
 		dst[b] = s.e.mixKernel(wb[b*s.e.lp:(b+1)*s.e.lp], s.y, s.terms)
 	}
 	return nil
+}
+
+// ScoreSparse scores one interval given only its occupied cells, as
+// run-length coordinates: run r covers cells starts[r] through
+// starts[r]+lens[r]-1 and counts carries the cell counts in run
+// order (Σ lens[r] == len(counts)). Runs must be in ascending cell
+// order and non-overlapping, within [0, L). The result is
+// bit-identical to Score on the densified vector, and the projection
+// touches only the occupied cells — this is the scoring half of the
+// fused zero-copy ingest→snoop→score path. Allocation-free once sv
+// has grown to the largest NNZ seen.
+//
+//mhm:deterministic
+func (s *Scorer) ScoreSparse(starts, lens []int32, counts []uint32) (float64, error) {
+	if len(starts) != len(lens) {
+		return 0, fmt.Errorf("score: %d run starts, %d run lengths: %w", len(starts), len(lens), ErrModel)
+	}
+	nnz := 0
+	prev := int32(0)
+	for r, st := range starts {
+		if st < prev || lens[r] <= 0 || int(st)+int(lens[r]) > s.e.l {
+			return 0, fmt.Errorf("score: run %d [%d,+%d) invalid for %d cells: %w",
+				r, st, lens[r], s.e.l, ErrModel)
+		}
+		prev = st + lens[r]
+		nnz += int(lens[r])
+	}
+	if nnz != len(counts) {
+		return 0, fmt.Errorf("score: runs cover %d cells, %d counts: %w", nnz, len(counts), ErrModel)
+	}
+	if cap(s.sv) < nnz {
+		s.sv = make([]float64, nnz)
+	}
+	sv := s.sv[:nnz]
+	for i, c := range counts {
+		sv[i] = float64(c)
+	}
+	s.e.projectSparse(s.w, sv, starts, lens)
+	return s.e.mixKernel(s.w, s.y, s.terms), nil
 }

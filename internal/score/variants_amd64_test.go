@@ -1,0 +1,23 @@
+package score
+
+import "github.com/memheatmap/mhm/internal/cpufeat"
+
+// kernelVariants lists every kernel configuration this amd64 host can
+// execute: the portable reference, the SSE2 baseline, and — when the
+// CPU and OS support it (and GODEBUG has not masked it) — the AVX2 set
+// with its fused two-row kernel and occupancy-scan mask.
+func kernelVariants() []kernelVariant {
+	vs := []kernelVariant{
+		{name: "go", dot: dotPacked8Ref},
+		{name: "sse2", dot: dotPacked8SSE2},
+	}
+	if cpufeat.X86.HasAVX2 {
+		vs = append(vs, kernelVariant{
+			name: "avx2",
+			dot:  dotPacked8AVX2,
+			x2:   dotPacked8x2AVX2,
+			mask: colMask64AVX2,
+		})
+	}
+	return vs
+}

@@ -1,0 +1,14 @@
+package score
+
+import "github.com/memheatmap/mhm/internal/cpufeat"
+
+// kernelVariants lists every kernel configuration this arm64 host can
+// execute: the portable reference and, unless GODEBUG masked ASIMD, the
+// NEON kernel.
+func kernelVariants() []kernelVariant {
+	vs := []kernelVariant{{name: "go", dot: dotPacked8Ref}}
+	if cpufeat.ARM64.HasASIMD {
+		vs = append(vs, kernelVariant{name: "neon", dot: dotPacked8NEON})
+	}
+	return vs
+}

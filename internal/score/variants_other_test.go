@@ -1,0 +1,9 @@
+//go:build !amd64 && !arm64
+
+package score
+
+// kernelVariants: targets with no SIMD kernels run only the portable
+// reference, so the identity tests degenerate to self-consistency.
+func kernelVariants() []kernelVariant {
+	return []kernelVariant{{name: "go", dot: dotPacked8Ref}}
+}

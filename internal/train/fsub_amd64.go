@@ -2,14 +2,32 @@
 
 package train
 
-// fsubPacked8 subtracts eight packed dot products from the lane
-// accumulators: out[k] -= Σ_i row[i]·packed[i*8+k], one forward-
-// substitution row for eight samples at once. The SSE2 kernel (baseline
-// amd64, no feature detection needed) gives each sample its own SIMD
-// lane; every lane multiplies then subtracts in ascending index order,
-// exactly the scalar sequence s -= L[i][t]·y[t], so the solve stays
-// bit-identical to the staged path. len(packed) must be 8·len(row).
+import "github.com/memheatmap/mhm/internal/cpufeat"
+
+// fsubPacked8SSE2 is the amd64 baseline kernel (SSE2 needs no feature
+// detection): each sample owns one SIMD lane; every lane multiplies
+// then subtracts in ascending index order, exactly the scalar
+// sequence s -= L[i][t]·y[t], so the solve stays bit-identical to the
+// staged path.
 //
 //mhm:hotpath
 //go:noescape
-func fsubPacked8(row, packed []float64, out *[8]float64)
+func fsubPacked8SSE2(row, packed []float64, out *[8]float64)
+
+// fsubPacked8AVX2 is the 4-lane-wide variant: two YMM accumulators
+// cover all eight lanes with separate VMULPD/VSUBPD (no FMA — fused
+// rounding would break the bit-identity contract detorder enforces).
+//
+//mhm:hotpath
+//go:noescape
+func fsubPacked8AVX2(row, packed []float64, out *[8]float64)
+
+func init() {
+	if cpufeat.X86.HasAVX2 {
+		kernelName = "avx2"
+		fsubPacked8 = fsubPacked8AVX2
+	} else {
+		kernelName = "sse2"
+		fsubPacked8 = fsubPacked8SSE2
+	}
+}

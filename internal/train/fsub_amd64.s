@@ -1,15 +1,16 @@
-// SSE2 micro-kernel for the blocked EM forward substitution: eight
+// SIMD micro-kernels for the blocked EM forward substitution: eight
 // packed dot-product subtractions from the lane accumulators, one
-// sample per SIMD lane. Lane k subtracts row[i]*packed[i*8+k] from
-// out[k] in ascending i with separate multiply and subtract (no FMA),
-// so each lane performs exactly the scalar solve's operation sequence
-// and the factor solve is bit-identical to the staged path. SSE2 is the
-// amd64 baseline; no CPU feature detection is required.
+// sample per SIMD lane. Every kernel subtracts row[i]*packed[i*8+k]
+// from out[k] in ascending i with separate multiply and subtract (no
+// FMA), so each lane performs exactly the scalar solve's operation
+// sequence and the factor solve is bit-identical to the staged path.
+// SSE2 is the amd64 baseline; the AVX2 kernel is bound by
+// internal/cpufeat dispatch only when the CPU and OS support it.
 
 #include "textflag.h"
 
-// func fsubPacked8(row, packed []float64, out *[8]float64)
-TEXT ·fsubPacked8(SB), NOSPLIT, $0-56
+// func fsubPacked8SSE2(row, packed []float64, out *[8]float64)
+TEXT ·fsubPacked8SSE2(SB), NOSPLIT, $0-56
 	MOVQ row_base+0(FP), SI
 	MOVQ row_len+8(FP), CX
 	MOVQ packed_base+24(FP), DI
@@ -52,4 +53,41 @@ done:
 	MOVUPS X1, 16(DX)
 	MOVUPS X2, 32(DX)
 	MOVUPS X3, 48(DX)
+	RET
+
+// func fsubPacked8AVX2(row, packed []float64, out *[8]float64)
+//
+// Two YMM accumulators: Y0 = lanes 0..3, Y1 = lanes 4..7. Per i: one
+// VBROADCASTSD, two VMULPD, two VSUBPD — halving the instruction
+// count of the SSE2 loop while keeping each lane's multiply-then-
+// subtract order.
+TEXT ·fsubPacked8AVX2(SB), NOSPLIT, $0-56
+	MOVQ row_base+0(FP), SI
+	MOVQ row_len+8(FP), CX
+	MOVQ packed_base+24(FP), DI
+	MOVQ out+48(FP), DX
+
+	VMOVUPD (DX), Y0
+	VMOVUPD 32(DX), Y1
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	VBROADCASTSD (SI), Y4
+
+	VMULPD (DI), Y4, Y5
+	VSUBPD Y5, Y0, Y0
+	VMULPD 32(DI), Y4, Y6
+	VSUBPD Y6, Y1, Y1
+
+	ADDQ $8, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VZEROUPPER
 	RET

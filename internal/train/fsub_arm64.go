@@ -1,0 +1,21 @@
+//go:build arm64
+
+package train
+
+import "github.com/memheatmap/mhm/internal/cpufeat"
+
+// fsubPacked8NEON is the arm64 kernel: four 128-bit vector
+// accumulators cover the eight lanes, using unfused FMUL/FSUB pairs
+// (no FMLS — fused rounding would break the bit-identity contract
+// detorder enforces). len(packed) must be 8·len(row).
+//
+//mhm:hotpath
+//go:noescape
+func fsubPacked8NEON(row, packed []float64, out *[8]float64)
+
+func init() {
+	if cpufeat.ARM64.HasASIMD {
+		kernelName = "neon"
+		fsubPacked8 = fsubPacked8NEON
+	}
+}

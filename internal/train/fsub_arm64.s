@@ -1,0 +1,43 @@
+// NEON micro-kernel for the blocked EM forward substitution. As in
+// internal/score, the Go arm64 assembler has no mnemonics for the
+// unfused two-double vector FMUL/FSUB, so those are WORD-encoded
+// (encodings verified against `go tool objdump`). FMLS is
+// deliberately not used: fusing the multiply-subtract would change
+// rounding and break the bit-identity contract detorder enforces.
+
+#include "textflag.h"
+
+// func fsubPacked8NEON(row, packed []float64, out *[8]float64)
+TEXT ·fsubPacked8NEON(SB), NOSPLIT, $0-56
+	MOVD row_base+0(FP), R0
+	MOVD row_len+8(FP), R1
+	MOVD packed_base+24(FP), R2
+	MOVD out+48(FP), R3
+
+	// Running lane accumulators: V0 = lanes 0,1 ... V3 = lanes 6,7.
+	VLD1 (R3), [V0.D2, V1.D2, V2.D2, V3.D2]
+
+	CBZ R1, done
+
+loop:
+	// Broadcast row[i] into both halves of V8.
+	FMOVD (R0), F8
+	VDUP  V8.D[0], V8.D2
+
+	VLD1.P 64(R2), [V9.D2, V10.D2, V11.D2, V12.D2]
+	WORD   $0x6E68DD29 // FMUL V9.2D, V9.2D, V8.2D
+	WORD   $0x4EE9D400 // FSUB V0.2D, V0.2D, V9.2D
+	WORD   $0x6E68DD4A // FMUL V10.2D, V10.2D, V8.2D
+	WORD   $0x4EEAD421 // FSUB V1.2D, V1.2D, V10.2D
+	WORD   $0x6E68DD6B // FMUL V11.2D, V11.2D, V8.2D
+	WORD   $0x4EEBD442 // FSUB V2.2D, V2.2D, V11.2D
+	WORD   $0x6E68DD8C // FMUL V12.2D, V12.2D, V8.2D
+	WORD   $0x4EECD463 // FSUB V3.2D, V3.2D, V12.2D
+
+	ADD  $8, R0
+	SUB  $1, R1
+	CBNZ R1, loop
+
+done:
+	VST1 [V0.D2, V1.D2, V2.D2, V3.D2], (R3)
+	RET

@@ -1,0 +1,26 @@
+package train
+
+// Runtime kernel dispatch, mirroring internal/score: fsubPacked8 is
+// bound exactly once at package init to the widest kernel
+// internal/cpufeat reports (GODEBUG=cpu.<feature>=off masks a feature
+// for fallback testing) and never reassigned afterwards. Every
+// candidate performs per-lane multiply-then-subtract in ascending
+// index order with no FMA, so EM fits are bit-identical whichever
+// kernel dispatch selects; mhmlint checks the bound functions through
+// this table.
+
+// fsubPacked8 subtracts eight packed dot products from the lane
+// accumulators: out[k] -= Σ_i row[i]·packed[i*8+k], one forward-
+// substitution row for eight samples at once. len(packed) must be
+// 8·len(row).
+//
+//mhm:hotpath
+var fsubPacked8 func(row, packed []float64, out *[8]float64) = fsubPacked8Ref
+
+// kernelName records which substitution kernel dispatch selected, for
+// benchmarks and reports.
+var kernelName = "go"
+
+// Kernel reports the forward-substitution kernel selected at startup:
+// "avx2", "sse2", "neon", or "go".
+func Kernel() string { return kernelName }

@@ -1,0 +1,85 @@
+package train
+
+import (
+	"math"
+	"testing"
+)
+
+// withFsub runs f with the forward-substitution dispatch temporarily
+// rebound, restoring the init-time binding afterwards. Tests using it
+// must not run in parallel.
+func withFsub(t *testing.T, k func(row, packed []float64, out *[8]float64), f func()) {
+	t.Helper()
+	old := fsubPacked8
+	fsubPacked8 = k
+	defer func() { fsubPacked8 = old }()
+	f()
+}
+
+// TestFsubKernelsBitIdentical compares every host fsub kernel against
+// the portable reference on the raw kernel contract.
+func TestFsubKernelsBitIdentical(t *testing.T) {
+	for _, kv := range fsubVariants() {
+		for _, rows := range []int{0, 1, 3, 8, 17, 64} {
+			row := make([]float64, rows)
+			packed := make([]float64, rows*8)
+			for i := range row {
+				row[i] = float64(i%7) - 2.5
+			}
+			for i := range packed {
+				packed[i] = float64((i*37)%11) * 0.25
+			}
+			var got, want [8]float64
+			for lane := range got {
+				got[lane] = float64(lane) - 3.5
+				want[lane] = got[lane]
+			}
+			kv.fn(row, packed, &got)
+			fsubPacked8Ref(row, packed, &want)
+			for lane := range got {
+				if math.Float64bits(got[lane]) != math.Float64bits(want[lane]) {
+					t.Fatalf("%s rows=%d lane %d: %v, want %v", kv.name, rows, lane, got[lane], want[lane])
+				}
+			}
+		}
+	}
+}
+
+// TestEMFitKernelsBitIdentical pins the dispatch guarantee at the
+// model level: EMFit under every host fsub kernel reproduces the
+// portable-reference model bit for bit, so runtime dispatch can never
+// shift a trained mixture.
+func TestEMFitKernelsBitIdentical(t *testing.T) {
+	data, means := testData(700, 9, 4, 11)
+	var base *EMModel
+	withFsub(t, fsubPacked8Ref, func() {
+		var err error
+		base, err = EMFit(data, means, fitCfg(4, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, kv := range fsubVariants() {
+		var got *EMModel
+		withFsub(t, kv.fn, func() {
+			var err error
+			got, err = EMFit(data, means, fitCfg(4, 3))
+			if err != nil {
+				t.Fatalf("%s: %v", kv.name, err)
+			}
+		})
+		if math.Float64bits(base.LogLikelihood) != math.Float64bits(got.LogLikelihood) {
+			t.Fatalf("%s: LL %v, reference %v", kv.name, got.LogLikelihood, base.LogLikelihood)
+		}
+		for i := range base.Means {
+			if math.Float64bits(base.Means[i]) != math.Float64bits(got.Means[i]) {
+				t.Fatalf("%s: mean flat[%d] differs", kv.name, i)
+			}
+		}
+		for i := range base.Covs {
+			if math.Float64bits(base.Covs[i]) != math.Float64bits(got.Covs[i]) {
+				t.Fatalf("%s: cov flat[%d] differs", kv.name, i)
+			}
+		}
+	}
+}

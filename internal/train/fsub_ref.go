@@ -1,14 +1,14 @@
-//go:build !amd64
-
 package train
 
-// fsubPacked8 subtracts eight packed dot products from the lane
+// fsubPacked8Ref subtracts eight packed dot products from the lane
 // accumulators: out[k] -= Σ_i row[i]·packed[i*8+k], in ascending i per
 // lane — the same operation sequence as the scalar forward-substitution
-// row, and as the SSE2 kernel on amd64.
+// row. Portable reference implementation, compiled on every
+// architecture: it anchors the cross-kernel bit-identity fuzz and is
+// the dispatch fallback when no SIMD kernel applies.
 //
 //mhm:hotpath
-func fsubPacked8(row, packed []float64, out *[8]float64) {
+func fsubPacked8Ref(row, packed []float64, out *[8]float64) {
 	for i, r := range row {
 		p := packed[i*8 : i*8+8]
 		out[0] -= r * p[0]

@@ -19,11 +19,13 @@ import (
 //
 //mhm:hotpath
 func (e *em) densRange(lo, hi, wi int) {
-	pd := e.pack[wi*16*e.d : wi*16*e.d+8*e.d]
-	py := e.pack[wi*16*e.d+8*e.d : (wi+1)*16*e.d]
+	base := wi * (16*e.d + 8)
+	pd := e.pack[base : base+8*e.d]
+	py := e.pack[base+8*e.d : base+16*e.d]
+	sv := (*[8]float64)(e.pack[base+16*e.d : base+16*e.d+8])
 	s := lo
 	for ; s+8 <= hi; s += 8 {
-		e.densBlock8(s, pd, py)
+		e.densBlock8(s, pd, py, sv)
 	}
 	for ; s < hi; s++ {
 		e.densScalar(s, pd[:e.d], py[:e.d])
@@ -38,9 +40,13 @@ func (e *em) densRange(lo, hi, wi int) {
 // subtracts its dot against the solved prefix via fsubPacked8 — each
 // lane performing exactly the scalar sequence s -= L[i][t]·y[t] in
 // ascending t — then divides by the pivot and accumulates m2 += y².
+// sv is the worker's eight-lane substitution buffer: it lives in the
+// preallocated pack panel (not on the stack) because it is passed to
+// the dispatched kernel through a function variable, where escape
+// analysis cannot see the kernels' //go:noescape.
 //
 //mhm:hotpath
-func (e *em) densBlock8(s int, pd, py []float64) {
+func (e *em) densBlock8(s int, pd, py []float64, sv *[8]float64) {
 	d, k := e.d, e.k
 	for j := 0; j < k; j++ {
 		meanj := e.mean[j*d : (j+1)*d]
@@ -52,10 +58,9 @@ func (e *em) densBlock8(s int, pd, py []float64) {
 			}
 		}
 		var m2 [8]float64
-		var sv [8]float64
 		for i := 0; i < d; i++ {
 			copy(sv[:], pd[i*8:i*8+8])
-			fsubPacked8(cholj[i*d:i*d+i], py[:i*8], &sv)
+			fsubPacked8(cholj[i*d:i*d+i], py[:i*8], sv)
 			lii := cholj[i*d+i]
 			for lane := 0; lane < 8; lane++ {
 				yv := sv[lane] / lii

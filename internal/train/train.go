@@ -125,7 +125,7 @@ type em struct {
 	base   []float64 // k: d·ln(2π) + logdet, the density constant
 	spd    []bool    // per-component M-step factorization outcome
 
-	pack  []float64 // per-worker diff/y panels, 16·d floats each
+	pack  []float64 // per-worker diff/y/sv panels, 16·d+8 floats each
 	mdiff []float64 // per-component M-step diff scratch, k×d
 
 	// Dispatch closures, built once so steady-state iterations do not
@@ -156,7 +156,7 @@ func newEM(data [][]float64, initMeans [][]float64, cfg EMConfig) *em {
 		chol:    make([]float64, k*d*d),
 		base:    make([]float64, k),
 		spd:     make([]bool, k),
-		pack:    make([]float64, workers*16*d),
+		pack:    make([]float64, workers*(16*d+8)),
 		mdiff:   make([]float64, k*d),
 	}
 	for i, v := range data {

@@ -1,0 +1,21 @@
+package train
+
+import "github.com/memheatmap/mhm/internal/cpufeat"
+
+// fsubVariant names one dispatchable forward-substitution kernel.
+type fsubVariant struct {
+	name string
+	fn   func(row, packed []float64, out *[8]float64)
+}
+
+// fsubVariants lists every fsub kernel this amd64 host can execute.
+func fsubVariants() []fsubVariant {
+	vs := []fsubVariant{
+		{name: "go", fn: fsubPacked8Ref},
+		{name: "sse2", fn: fsubPacked8SSE2},
+	}
+	if cpufeat.X86.HasAVX2 {
+		vs = append(vs, fsubVariant{name: "avx2", fn: fsubPacked8AVX2})
+	}
+	return vs
+}

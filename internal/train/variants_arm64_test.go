@@ -1,0 +1,18 @@
+package train
+
+import "github.com/memheatmap/mhm/internal/cpufeat"
+
+// fsubVariant names one dispatchable forward-substitution kernel.
+type fsubVariant struct {
+	name string
+	fn   func(row, packed []float64, out *[8]float64)
+}
+
+// fsubVariants lists every fsub kernel this arm64 host can execute.
+func fsubVariants() []fsubVariant {
+	vs := []fsubVariant{{name: "go", fn: fsubPacked8Ref}}
+	if cpufeat.ARM64.HasASIMD {
+		vs = append(vs, fsubVariant{name: "neon", fn: fsubPacked8NEON})
+	}
+	return vs
+}

@@ -1,0 +1,15 @@
+//go:build !amd64 && !arm64
+
+package train
+
+// fsubVariant names one dispatchable forward-substitution kernel.
+type fsubVariant struct {
+	name string
+	fn   func(row, packed []float64, out *[8]float64)
+}
+
+// fsubVariants: targets with no SIMD kernels run only the portable
+// reference, so the identity tests degenerate to self-consistency.
+func fsubVariants() []fsubVariant {
+	return []fsubVariant{{name: "go", fn: fsubPacked8Ref}}
+}

@@ -176,6 +176,100 @@ echo
 echo "wrote $TRAIN_OUT:"
 cat "$TRAIN_OUT"
 
+# ----------------------------------------------------------------- kernels
+#
+# Runtime-dispatched SIMD kernel baselines: the blocked B=64 panel
+# product under the widest kernel the CPU offers AND under
+# GODEBUG=cpu.avx2=off (the SSE2/compaction fallback), the sparse
+# run-length scoring path, and the fused zero-copy ingest path
+# (trace.ReadBatch -> memometer.SnoopBatch -> sparse collect ->
+# ScoreSparse). Bars: the fused path must report 0 allocs/op, and on
+# an AVX2 machine the dispatched batch kernel must beat the recorded
+# pre-dispatch SSE2 baseline by >= 3x.
+
+KERN_OUT="BENCH_kernels.json"
+
+# The blocked SSE2 batch-64 ns/op this repo recorded before runtime
+# dispatch existed (BENCH_scoring.json history, cpus:1 runner). Pinned,
+# not remeasured: it is the fixed yardstick the AVX2 bar compares to.
+SSE2_BASELINE_NS=2638
+
+KERNELS="$(go run ./scripts/kernelname)"
+SCORE_KERNEL="${KERNELS% *}"
+TRAIN_KERNEL="${KERNELS#* }"
+OFF_KERNELS="$(GODEBUG=cpu.avx2=off go run ./scripts/kernelname)"
+OFF_SCORE_KERNEL="${OFF_KERNELS% *}"
+
+KERN_RAW="$(go test -run '^$' -bench 'ScoreBatch$|ScoreSparse$|FusedTraceScore$' \
+  -benchmem -benchtime="$BENCHTIME" -count="$COUNT" .)"
+KERN_OFF_RAW="$(GODEBUG=cpu.avx2=off go test -run '^$' -bench 'ScoreBatch$' \
+  -benchmem -benchtime="$BENCHTIME" -count="$COUNT" . | sed 's/^BenchmarkScoreBatch/BenchmarkScoreBatchOff/')"
+
+printf '%s\n%s\n' "$KERN_RAW" "$KERN_OFF_RAW"
+
+printf '%s\n%s\n' "$KERN_RAW" "$KERN_OFF_RAW" | awk -v out="$KERN_OUT" -v cpus="$CPUS" \
+    -v score_kernel="$SCORE_KERNEL" -v train_kernel="$TRAIN_KERNEL" \
+    -v off_kernel="$OFF_SCORE_KERNEL" -v baseline="$SSE2_BASELINE_NS" '
+# Benchmark lines carry a variable column set (ReportMetric adds
+# bytes/interval on the fused row), so collect every value/unit pair.
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    for (i = 3; i < NF; i += 2)
+        vals[name SUBSEP $(i+1)] = vals[name SUBSEP $(i+1)] " " ($i + 0)
+}
+function median(list,    arr, i, j, tmp, m) {
+    m = split(list, arr, " ")
+    if (!m) { printf "bench.sh: missing kernel benchmark metric\n" > "/dev/stderr"; exit 1 }
+    for (i = 1; i < m; i++)
+        for (j = i + 1; j <= m; j++)
+            if (arr[j] + 0 < arr[i] + 0) { tmp = arr[i]; arr[i] = arr[j]; arr[j] = tmp }
+    if (m % 2) return arr[(m + 1) / 2] + 0
+    return (arr[m / 2] + arr[m / 2 + 1]) / 2
+}
+function med(bench, unit) {
+    if (!((bench SUBSEP unit) in vals)) {
+        printf "bench.sh: missing %s %s\n", bench, unit > "/dev/stderr"; exit 1
+    }
+    return median(vals[bench SUBSEP unit])
+}
+END {
+    batch      = med("ScoreBatch",      "ns/op")
+    batchoff   = med("ScoreBatchOff",   "ns/op")
+    sparse     = med("ScoreSparse",     "ns/op")
+    fusedns    = med("FusedTraceScore", "ns/op")
+    fusedbytes = med("FusedTraceScore", "bytes/interval")
+    fusedalloc = med("FusedTraceScore", "allocs/op")
+    speedup = baseline / batch
+    printf "{\n" > out
+    printf "  \"cpus\": %d,\n", cpus >> out
+    printf "  \"score_kernel\": \"%s\",\n", score_kernel >> out
+    printf "  \"train_kernel\": \"%s\",\n", train_kernel >> out
+    printf "  \"sse2_batch64_baseline_ns\": %.1f,\n", baseline >> out
+    printf "  \"batch64\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %d},\n", batch, med("ScoreBatch", "allocs/op") >> out
+    printf "  \"batch64_avx2_off\": {\"kernel\": \"%s\", \"ns_per_op\": %.1f, \"allocs_per_op\": %d},\n", off_kernel, batchoff, med("ScoreBatchOff", "allocs/op") >> out
+    printf "  \"sparse\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %d},\n", sparse, med("ScoreSparse", "allocs/op") >> out
+    printf "  \"fused\": {\"ns_per_interval\": %.1f, \"bytes_per_interval\": %.1f, \"allocs_per_op\": %d},\n", fusedns, fusedbytes, fusedalloc >> out
+    printf "  \"batch_speedup_vs_sse2_baseline\": %.2f\n", speedup >> out
+    printf "}\n" >> out
+    if (fusedalloc + 0 != 0) {
+        printf "bench.sh: fused path allocates %d times per op, want 0\n", fusedalloc > "/dev/stderr"
+        exit 1
+    }
+    if (score_kernel == "avx2" && speedup < 3.0) {
+        printf "bench.sh: dispatched batch kernel %.2fx over the recorded SSE2 baseline, below the 3x bar\n", speedup > "/dev/stderr"
+        exit 1
+    }
+    if (score_kernel != "avx2")
+        printf "bench.sh: score kernel is %s, not avx2; 3x-vs-SSE2 bar skipped\n", score_kernel > "/dev/stderr"
+}
+'
+
+echo
+echo "wrote $KERN_OUT:"
+cat "$KERN_OUT"
+
 # --------------------------------------------------------------- scenarios
 
 SCEN_OUT="BENCH_scenarios.json"

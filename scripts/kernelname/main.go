@@ -1,0 +1,18 @@
+// Command kernelname prints the SIMD kernel runtime dispatch selected
+// for the scoring and training engines on this machine, as two
+// space-separated words (for example "avx2 avx2", or "sse2 sse2" under
+// GODEBUG=cpu.avx2=off, or "go go" on targets without kernels).
+// bench.sh records them in BENCH_kernels.json so a kernel baseline
+// declares which implementation it measured.
+package main
+
+import (
+	"fmt"
+
+	"github.com/memheatmap/mhm/internal/score"
+	"github.com/memheatmap/mhm/internal/train"
+)
+
+func main() {
+	fmt.Println(score.Kernel(), train.Kernel())
+}
