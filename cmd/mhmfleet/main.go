@@ -26,6 +26,7 @@ import (
 
 	"github.com/memheatmap/mhm/internal/fleet"
 	"github.com/memheatmap/mhm/internal/obs"
+	"github.com/memheatmap/mhm/internal/refresh"
 )
 
 func main() {
@@ -42,6 +43,9 @@ func main() {
 	overloadFrac := flag.Float64("overload-frac", 0.5, "fraction of streams the overload fault hits")
 	anomalyFrac := flag.Float64("anomaly-frac", 0, "fraction of streams turned anomalous mid-run")
 	swapAt := flag.Int("swap-at", -1, "hot-swap every stream to a refreshed model at this interval index")
+	refreshEvery := flag.Int("refresh", 0, "online model refresh: refresh after every N clean intervals (0 = off)")
+	refreshWindow := flag.Int("refresh-window", 0, "refresh training-window capacity in intervals (0 = default 192)")
+	refreshHoldout := flag.Int("refresh-holdout", 0, "refresh θ-calibration holdout capacity (0 = default 64)")
 	tracePath := flag.String("trace", "", "write the decision trace to this path (- for stdout)")
 	metricsPath := flag.String("metrics", "", "dump a metrics snapshot to this path at exit (- for stdout)")
 	asJSON := flag.Bool("json", false, "emit the machine-readable result")
@@ -52,6 +56,7 @@ func main() {
 		shards: *shards, queue: *queue, service: *service, workers: *workers,
 		autoscale: *autoscale, overload: *overload, overloadFrac: *overloadFrac,
 		anomalyFrac: *anomalyFrac, swapAt: *swapAt,
+		refreshEvery: *refreshEvery, refreshWindow: *refreshWindow, refreshHoldout: *refreshHoldout,
 		tracePath: *tracePath, metricsPath: *metricsPath, asJSON: *asJSON,
 	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mhmfleet:", err)
@@ -70,6 +75,9 @@ type config struct {
 	overload, overloadFrac float64
 	anomalyFrac            float64
 	swapAt                 int
+	refreshEvery           int
+	refreshWindow          int
+	refreshHoldout         int
 	tracePath, metricsPath string
 	asJSON                 bool
 }
@@ -97,6 +105,13 @@ type result struct {
 	WallMs          float64 `json:"wall_ms"`
 	StreamsPerSec   float64 `json:"streams_per_sec"`
 	IntervalsPerSec float64 `json:"intervals_per_sec"`
+	// Online-refresh fields, populated when -refresh is set.
+	Refreshes        int   `json:"refreshes,omitempty"`
+	FullRebuilds     int   `json:"full_rebuilds,omitempty"`
+	DriftAlarms      int   `json:"drift_alarms,omitempty"`
+	RefreshSwaps     int   `json:"refresh_swaps,omitempty"`
+	ModelVersion     int   `json:"model_version,omitempty"`
+	DroppedIntervals int64 `json:"dropped_intervals"`
 }
 
 func buildFaults(c config) ([]fleet.Fault, error) {
@@ -160,6 +175,21 @@ func run(c config, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var loop *refresh.Loop
+	if c.refreshEvery > 0 {
+		loop, err = refresh.NewLoop(sim.Detector(), sim.Registry(), refresh.LoopConfig{
+			Every: c.refreshEvery,
+			Refresher: refresh.Config{
+				Window:  c.refreshWindow,
+				Holdout: c.refreshHoldout,
+				Workers: c.workers,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		sim.SetMaintainer(loop)
+	}
 	start := time.Now()
 	res, err := sim.Run()
 	if err != nil {
@@ -189,6 +219,18 @@ func run(c config, stdout io.Writer) error {
 		TraceLines: tr.Lines(),
 		WallMs:     float64(wall.Nanoseconds()) / 1e6,
 	}
+	out.DroppedIntervals = res.DroppedIntervals
+	if loop != nil {
+		if err := loop.Err(); err != nil {
+			return fmt.Errorf("refresh loop: %w", err)
+		}
+		st := loop.Stats()
+		out.Refreshes = st.Refreshes
+		out.FullRebuilds = st.FullRebuilds
+		out.DriftAlarms = st.DriftAlarms
+		out.RefreshSwaps = st.SwapsScheduled
+		out.ModelVersion = st.Version
+	}
 	if secs := wall.Seconds(); secs > 0 {
 		out.StreamsPerSec = float64(c.streams) / secs
 		out.IntervalsPerSec = float64(res.Admitted) / secs
@@ -209,6 +251,12 @@ func run(c config, stdout io.Writer) error {
 		out.Shards, out.FinalShards, out.Resizes, out.Swaps, 100*out.MaxQueueFrac,
 		out.P50IntervalUs, out.P99IntervalUs, out.P99DeliveryUs,
 		out.WallMs, out.StreamsPerSec, out.IntervalsPerSec)
+	if err == nil && loop != nil {
+		_, err = fmt.Fprintf(stdout,
+			"  refresh: %d refreshes (%d full)  drift alarms %d  swaps %d  model v%d  dropped %d\n",
+			out.Refreshes, out.FullRebuilds, out.DriftAlarms,
+			out.RefreshSwaps, out.ModelVersion, out.DroppedIntervals)
+	}
 	return err
 }
 

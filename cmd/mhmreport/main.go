@@ -7,13 +7,16 @@
 //	mhmreport [-exp all|fig1|training|fig6|fig7|fig8|fig9|fig10|analysis|taskset|
 //	           ablation-lprime|ablation-j|ablation-gran|ablation-baseline|
 //	           ablation-cache|smp|alarms|extended|roc|auto-j|generalize|multiregion|
-//	           metrics|scoring|scenarios]
+//	           metrics|scoring|scenarios|refresh]
 //	          [-scale paper|medium|quick] [-seed N] [-json FILE]
 //
 // The scenarios experiment runs the full scenario × detector matrix
 // (catalogued attacks and workload changes against the MHM, syscall-
 // frequency and ensemble detectors); -json additionally writes it in
-// the BENCH_scenarios.json schema.
+// the BENCH_scenarios.json schema. The refresh experiment compares one
+// incremental model refresh against the full retrain it replaces
+// (latency and detection AUC) and checks the fleet loop's zero-drop
+// swap contract; -json writes the BENCH_refresh.json schema.
 //
 // The paper scale (10 runs x 3 s of training data) takes tens of seconds;
 // medium and quick scales run the identical pipeline on less data. The
@@ -338,6 +341,26 @@ func run(exp, scaleName string, seed int64, jsonPath string) error {
 				return err
 			}
 			if err := m.WriteJSON(f); err != nil {
+				_ = f.Close()
+				return err
+			}
+			fmt.Printf("  wrote %s\n", jsonPath)
+			return f.Close()
+		}},
+		{"refresh", func() error {
+			r, err := experiments.RefreshUpkeep(seed, 20)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			if jsonPath == "" {
+				return nil
+			}
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteJSON(f); err != nil {
 				_ = f.Close()
 				return err
 			}

@@ -220,6 +220,36 @@ func Train(trainSet, calib []*heatmap.HeatMap, cfg Config) (*Detector, error) {
 	return d, nil
 }
 
+// NewDetector assembles a detector from already-trained models with the
+// fused scoring runtime installed — the constructor behind the refresh
+// loop, which re-derives its models incrementally instead of calling
+// Train. Thresholds are the caller's (typically recalibrated on a
+// sliding held-out window) and are sorted by P here; they may be empty
+// when only raw densities are needed. The models are referenced, not
+// copied, and must not be mutated afterwards.
+func NewDetector(region heatmap.Def, pcaModel *pca.Model, gmmModel *gmm.Model, thresholds []Threshold) (*Detector, error) {
+	if pcaModel == nil || gmmModel == nil {
+		return nil, fmt.Errorf("core: NewDetector: nil model: %w", ErrConfig)
+	}
+	l, lp := pcaModel.Dim()
+	if l != region.Cells() {
+		return nil, fmt.Errorf("core: NewDetector: %d eigenmemory dims for a %d-cell region: %w", l, region.Cells(), ErrRegionMismatch)
+	}
+	if d := gmmModel.Dim(); d != lp {
+		return nil, fmt.Errorf("core: NewDetector: mixture dim %d, basis %d: %w", d, lp, ErrConfig)
+	}
+	d := &Detector{Region: region, PCA: pcaModel, GMM: gmmModel}
+	if len(thresholds) > 0 {
+		d.Thresholds = append([]Threshold(nil), thresholds...)
+		sort.Slice(d.Thresholds, func(i, j int) bool { return d.Thresholds[i].P < d.Thresholds[j].P })
+	}
+	d.scoring = newScoring(region.Cells(), pcaModel, gmmModel)
+	if d.scoring == nil {
+		return nil, fmt.Errorf("core: NewDetector: models do not fuse (covariance not SPD?): %w", ErrConfig)
+	}
+	return d, nil
+}
+
 // projChunk is the work unit of the batch projection: vectors per
 // training-engine chunk.
 const projChunk = 16

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/heatmap"
+)
+
+// TestNewDetectorMatchesTrained reassembles a trained detector's models
+// through NewDetector and checks the fused scoring path produces
+// bit-identical densities and the thresholds survive (sorted).
+func TestNewDetectorMatchesTrained(t *testing.T) {
+	d, rng := trainTestDetector(t)
+	// Hand thresholds over in reverse order to exercise the sort.
+	rev := make([]Threshold, len(d.Thresholds))
+	for i, th := range d.Thresholds {
+		rev[len(rev)-1-i] = th
+	}
+	re, err := NewDetector(d.Region, d.PCA, d.GMM, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, th := range d.Thresholds {
+		if re.Thresholds[i] != th {
+			t.Fatalf("threshold[%d] = %+v, want %+v", i, re.Thresholds[i], th)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		m := patternMap(rng, trial)
+		a, err := d.LogDensity(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := re.LogDensity(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("trial %d: trained %v vs reassembled %v", trial, a, b)
+		}
+	}
+}
+
+// TestNewDetectorValidation checks nil models, region mismatch and
+// mixture-dimension mismatch are rejected.
+func TestNewDetectorValidation(t *testing.T) {
+	d, _ := trainTestDetector(t)
+	if _, err := NewDetector(d.Region, nil, d.GMM, nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("nil PCA: %v", err)
+	}
+	if _, err := NewDetector(d.Region, d.PCA, nil, nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("nil GMM: %v", err)
+	}
+	small := heatmap.Def{AddrBase: 0x1000, Size: 32 * 256, Gran: 256}
+	if _, err := NewDetector(small, d.PCA, d.GMM, nil); !errors.Is(err, ErrRegionMismatch) {
+		t.Fatalf("region mismatch: %v", err)
+	}
+}
+
+// TestNewDetectorEmptyThresholds allows a threshold-free detector for
+// raw-density consumers, and Threshold then reports unknown quantiles.
+func TestNewDetectorEmptyThresholds(t *testing.T) {
+	d, rng := trainTestDetector(t)
+	re, err := NewDetector(d.Region, d.PCA, d.GMM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Thresholds) != 0 {
+		t.Fatalf("%d thresholds, want 0", len(re.Thresholds))
+	}
+	if _, err := re.Threshold(0.01); err == nil {
+		t.Fatal("Threshold on threshold-free detector succeeded")
+	}
+	if _, err := re.LogDensity(patternMap(rng, 0)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+// The incremental form of the CUSUM drift statistic: the refresh loop
+// feeds one standardized density per observed interval and reads the
+// accumulator between refreshes, instead of re-folding a whole window
+// through Cusum. Step reproduces Cusum's per-element arithmetic exactly
+// — the streaming and batch forms are bit-identical on the same z
+// sequence — so drift thresholds calibrated against Cusum transfer.
+package ensemble
+
+import "math"
+
+// CusumState is a one-sided CUSUM accumulator over standardized scores.
+// The zero value is ready to use. Not safe for concurrent use.
+type CusumState struct {
+	// S is the current accumulator value (≥ 0, clamped at zClamp).
+	S float64
+}
+
+// Step folds one z-score with allowance k (NaN/Inf k falls back to
+// DriftK, as in Cusum) and returns the updated accumulator.
+//
+//mhm:deterministic
+func (c *CusumState) Step(z, k float64) float64 {
+	if math.IsNaN(k) || math.IsInf(k, 0) {
+		k = DriftK
+	}
+	z = sanitizeZ(z)
+	if z > DriftCap {
+		z = DriftCap
+	}
+	s := c.S + (z - k) // same association as Cusum's s += z - k
+	if s < 0 {
+		s = 0
+	} else if s > zClamp {
+		s = zClamp
+	}
+	c.S = s
+	return s
+}
+
+// Reset clears the accumulator (after a model refresh re-baselines the
+// density channel).
+func (c *CusumState) Reset() { c.S = 0 }

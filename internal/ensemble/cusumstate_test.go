@@ -1,0 +1,45 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCusumStateMatchesBatch pins the streaming==batch bit-identity
+// contract: feeding a z sequence through Step reproduces Cusum exactly,
+// including NaN/Inf inputs and the clamps.
+func TestCusumStateMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	zs := make([]float64, 500)
+	for i := range zs {
+		zs[i] = 3 * rng.NormFloat64()
+	}
+	zs[17] = math.NaN()
+	zs[99] = math.Inf(1)
+	zs[100] = math.Inf(-1)
+	zs[250] = 1e12
+	for _, k := range []float64{DriftK, 0.25, math.NaN()} {
+		batch := Cusum(zs, k)
+		var st CusumState
+		for i, z := range zs {
+			got := st.Step(z, k)
+			if math.Float64bits(got) != math.Float64bits(batch[i]) {
+				t.Fatalf("k=%v: step %d = %v, batch = %v", k, i, got, batch[i])
+			}
+		}
+	}
+}
+
+// TestCusumStateReset checks the accumulator clears for re-baselining.
+func TestCusumStateReset(t *testing.T) {
+	var st CusumState
+	st.Step(10, DriftK)
+	if st.S == 0 {
+		t.Fatal("accumulator did not rise")
+	}
+	st.Reset()
+	if st.S != 0 {
+		t.Fatalf("after Reset S = %v", st.S)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRefreshUpkeep runs experiment A14 at minimal repeats and pins the
+// acceptance contract: the incremental refresh is cheaper than the full
+// retrain, detection quality matches within the 0.02 AUC slack, the
+// fleet loop refreshed and swapped at least once, and no admitted
+// interval was dropped across the hot swaps.
+func TestRefreshUpkeep(t *testing.T) {
+	r, err := RefreshUpkeep(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup <= 1 {
+		t.Errorf("speedup %.2fx, want > 1x", r.Speedup)
+	}
+	if r.AUCGap > 0.02 {
+		t.Errorf("AUC gap %.4f exceeds the 0.02 slack (refreshed %.4f, retrained %.4f)",
+			r.AUCGap, r.AUCRefreshed, r.AUCRetrained)
+	}
+	if r.AUCRefreshed < 0.9 {
+		t.Errorf("refreshed AUC %.4f: model does not separate the eval set", r.AUCRefreshed)
+	}
+	if r.SimRefreshes < 1 || r.SimSwaps < 1 || r.SimModelVersion < 2 {
+		t.Errorf("loop stats: refreshes=%d swaps=%d version=%d, want all active",
+			r.SimRefreshes, r.SimSwaps, r.SimModelVersion)
+	}
+	if r.DroppedIntervals != 0 {
+		t.Errorf("dropped intervals = %d, want 0", r.DroppedIntervals)
+	}
+	if r.CPUs < 1 {
+		t.Errorf("cpus = %d", r.CPUs)
+	}
+
+	// The JSON form must parse and carry the gated fields.
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("BENCH_refresh.json schema does not parse: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"cpus", "refresh_ms", "full_retrain_ms", "speedup", "auc_gap", "dropped_intervals"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+}

@@ -15,12 +15,21 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"github.com/memheatmap/mhm/internal/core"
 	"github.com/memheatmap/mhm/internal/score"
 )
+
+// ErrSwapPending reports a SwapAt scheduled while a different boundary
+// is still pending for the stream. Exactly one swap may be in flight
+// per stream: stacking a second one behind it made the applied model a
+// function of scheduling order relative to the stream's progress, which
+// raced with the refresh loop's own retries. Callers that want
+// latest-wins semantics use SwapAtCoalesce.
+var ErrSwapPending = errors.New("fleet: swap already pending for stream")
 
 // Model is one immutable scoring configuration: the fused engine and
 // the calibrated decision threshold. Version identifies the model in
@@ -69,11 +78,14 @@ type scheduledSwap struct {
 
 // regSlot is one stream's registry entry. The mutex fences the owning
 // worker's reads against concurrent swap scheduling; it is held only
-// for pointer/slice manipulation, never across scoring.
+// for pointer manipulation, never across scoring. At most one swap is
+// pending per stream (hasPending): SwapAt rejects a second boundary,
+// SwapAtCoalesce replaces it.
 type regSlot struct {
-	mu      sync.Mutex
-	cur     *Model
-	pending []scheduledSwap // sorted by at ascending
+	mu         sync.Mutex
+	cur        *Model
+	hasPending bool
+	pending    scheduledSwap
 }
 
 // Registry holds the per-stream copy-on-write model pointers.
@@ -112,16 +124,32 @@ func (r *Registry) Swap(stream int, m *Model) error {
 	sl := &r.slots[stream]
 	sl.mu.Lock()
 	sl.cur = m
-	sl.pending = sl.pending[:0]
+	sl.hasPending = false
 	sl.mu.Unlock()
 	return nil
 }
 
 // SwapAt schedules a hot swap at an exact interval boundary: intervals
 // with per-stream index >= at score under m. Scheduling the same
-// boundary twice replaces the earlier model; boundaries the stream has
-// already passed apply to its very next interval.
+// boundary twice replaces the earlier model (a deterministic coalesce);
+// scheduling a different boundary while one is still pending returns
+// ErrSwapPending — see SwapAtCoalesce for latest-wins replacement.
+// Boundaries the stream has already passed apply to its very next
+// interval.
 func (r *Registry) SwapAt(stream, at int, m *Model) error {
+	return r.swapAt(stream, at, m, false)
+}
+
+// SwapAtCoalesce is SwapAt with latest-wins semantics: a pending swap
+// for the stream, whatever its boundary, is replaced by this one. The
+// refresh loop uses it so a slow stream that never reached the previous
+// generation's boundary jumps straight to the newest model instead of
+// wedging the schedule.
+func (r *Registry) SwapAtCoalesce(stream, at int, m *Model) error {
+	return r.swapAt(stream, at, m, true)
+}
+
+func (r *Registry) swapAt(stream, at int, m *Model, coalesce bool) error {
 	if err := r.check(stream, m); err != nil {
 		return err
 	}
@@ -131,27 +159,32 @@ func (r *Registry) SwapAt(stream, at int, m *Model) error {
 	sl := &r.slots[stream]
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
-	for i := range sl.pending {
-		if sl.pending[i].at == at {
-			sl.pending[i].m = m
-			return nil
-		}
-		if sl.pending[i].at > at {
-			sl.pending = append(sl.pending, scheduledSwap{})
-			copy(sl.pending[i+1:], sl.pending[i:])
-			sl.pending[i] = scheduledSwap{at: at, m: m}
-			return nil
-		}
+	if sl.hasPending && sl.pending.at != at && !coalesce {
+		return fmt.Errorf("fleet: stream %d has a swap pending at interval %d, refusing boundary %d: %w",
+			stream, sl.pending.at, at, ErrSwapPending)
 	}
-	sl.pending = append(sl.pending, scheduledSwap{at: at, m: m})
+	sl.pending = scheduledSwap{at: at, m: m}
+	sl.hasPending = true
 	return nil
 }
 
 // SwapAllAt schedules the same boundary swap for every stream — the
-// fleet-wide model refresh.
+// fleet-wide model refresh. Strict per-stream semantics: any stream
+// with a different boundary still pending fails the whole call with
+// ErrSwapPending (streams already scheduled keep the new swap).
 func (r *Registry) SwapAllAt(at int, m *Model) error {
 	for s := range r.slots {
 		if err := r.SwapAt(s, at, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SwapAllAtCoalesce is SwapAllAt with latest-wins per-stream semantics.
+func (r *Registry) SwapAllAtCoalesce(at int, m *Model) error {
+	for s := range r.slots {
+		if err := r.SwapAtCoalesce(s, at, m); err != nil {
 			return err
 		}
 	}
@@ -169,13 +202,9 @@ func (r *Registry) SwapAllAt(at int, m *Model) error {
 func (r *Registry) ModelFor(stream, idx int) *Model {
 	sl := &r.slots[stream]
 	sl.mu.Lock()
-	n := 0
-	for n < len(sl.pending) && sl.pending[n].at <= idx {
-		sl.cur = sl.pending[n].m
-		n++
-	}
-	if n > 0 {
-		sl.pending = sl.pending[n:]
+	if sl.hasPending && sl.pending.at <= idx {
+		sl.cur = sl.pending.m
+		sl.hasPending = false
 	}
 	m := sl.cur
 	sl.mu.Unlock()

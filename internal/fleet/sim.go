@@ -221,15 +221,32 @@ type SimResult struct {
 	Submitted, Admitted, Shed int64
 	Anomalous                 int64
 	SwapsScheduled            int64
-	Resizes                   int
-	FinalShards               int
-	Alarms                    []AlarmEvent
+	// DroppedIntervals counts admitted intervals that resolved no model
+	// (the registry returned nil). Hot swaps must never drop a stream's
+	// interval, so this is 0 by invariant; the refresh experiments
+	// assert it.
+	DroppedIntervals int64
+	Resizes          int
+	FinalShards      int
+	Alarms           []AlarmEvent
 	// Interval completion latency over admitted intervals, virtual µs.
 	P50IntervalMicros, P99IntervalMicros float64
 	// Alarm delivery latency (completion − interval end) over raise
 	// transitions, virtual µs.
 	P99DeliveryMicros float64
 	MaxQueueFrac      float64
+}
+
+// ModelMaintainer observes every scored interval from the simulator's
+// sequential verdict pass — stream, per-stream admitted index, the
+// verdict under the scoring model, the log density, and the raw MHM
+// vector (valid only for the duration of the call). Implementations
+// drive online model maintenance: they may schedule registry swaps from
+// inside Observe. Because the pass is sequential and in admission
+// order, a maintainer's decisions are deterministic at any worker
+// count.
+type ModelMaintainer interface {
+	Observe(stream, scoredIdx int, anomalous bool, density float64, vec []float64)
 }
 
 // Sim is one configured simulation. Build with NewSim, run once with
@@ -240,7 +257,13 @@ type Sim struct {
 	det *core.Detector
 	reg *Registry
 	met fleetMetrics
+	mnt ModelMaintainer
 }
+
+// SetMaintainer installs a model maintainer before Run. The simulator
+// materializes each scored interval's vector for it (one extra
+// generator pass per interval), so leave it nil when not refreshing.
+func (s *Sim) SetMaintainer(m ModelMaintainer) { s.mnt = m }
 
 // SimRegion is the heat-map region the simulator monitors: 64 cells of
 // 256 B — small enough that a 100k-stream run scores millions of
@@ -400,6 +423,10 @@ func (s *Sim) Run() (*SimResult, error) {
 	var events []simEvent
 	var admitted []simJob
 	var dens []float64
+	var mntVec []float64
+	if s.mnt != nil {
+		mntVec = make([]float64, SimRegion.Cells())
+	}
 
 	for tick := int64(0); tick < cfg.HorizonMicros; tick += cfg.IntervalMicros {
 		tickEnd := tick + cfg.IntervalMicros
@@ -506,6 +533,14 @@ func (s *Sim) Run() (*SimResult, error) {
 			idx := scored[ev.stream]
 			scored[ev.stream]++
 			mdl := s.reg.ModelFor(ev.stream, idx)
+			if mdl == nil {
+				// Never expected: registry slots always hold a model and
+				// a swap replaces the pointer atomically. Counted rather
+				// than panicked so the refresh experiments can assert the
+				// zero-drop invariant held end to end.
+				res.DroppedIntervals++
+				continue
+			}
 			svc := cfg.ServiceMicros
 			for i := range cfg.Faults {
 				f := &cfg.Faults[i]
@@ -580,6 +615,10 @@ func (s *Sim) Run() (*SimResult, error) {
 			if anomalous {
 				res.Anomalous++
 				s.met.anomalous.Inc()
+			}
+			if s.mnt != nil {
+				s.wl.VectorInto(mntVec, j.stream, j.genIdx, j.anomalous)
+				s.mnt.Observe(j.stream, j.scoredIdx, anomalous, dens[i], mntVec)
 			}
 			ev := rts[j.stream].Observe(anomalous, j.t)
 			if ev == nil {

@@ -369,7 +369,6 @@ func kmeansSeed(data [][]float64, k int, rng *rand.Rand) [][]float64 {
 // engine picks the worst-modeled sample from the E-step's own
 // log-likelihoods instead of rescanning against a half-updated model.
 func emOnce(data [][]float64, k, maxIter int, tol, reg float64, workers int, rng *rand.Rand) (*Model, float64, error) {
-	d := len(data[0])
 	means := kmeansSeed(data, k, rng)
 
 	// Initial covariances: shared spherical from overall variance.
@@ -389,6 +388,17 @@ func emOnce(data [][]float64, k, maxIter int, tol, reg float64, workers int, rng
 		return nil, 0, fmt.Errorf("gmm: component covariance: %w", err)
 	}
 
+	model, err := modelFromFit(fit)
+	if err != nil {
+		return nil, 0, err
+	}
+	return model, fit.LogLikelihood, nil
+}
+
+// modelFromFit converts a flat engine fit into a prepared Model. The
+// model owns its storage.
+func modelFromFit(fit *train.EMModel) (*Model, error) {
+	k, d := fit.K, fit.D
 	model := &Model{Components: make([]Component, k)}
 	for j := 0; j < k; j++ {
 		cov := mat.New(d, d)
@@ -401,10 +411,10 @@ func emOnce(data [][]float64, k, maxIter int, tol, reg float64, workers int, rng
 			Cov:    cov,
 		}
 		if err := model.Components[j].prepare(); err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 	}
-	return model, fit.LogLikelihood, nil
+	return model, nil
 }
 
 // componentJSON serializes one Gaussian.

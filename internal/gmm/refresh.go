@@ -1,0 +1,90 @@
+// The warm-start mixture refresh: re-fit a live model over a fresh
+// window of reduced MHMs by seeding EM from the model's own parameters
+// instead of k-means++ restarts. A drifted-but-close start needs only a
+// few bounded iterations through the blocked training engine — no
+// restarts, no seeding scans — which is what makes the refresh loop an
+// order of magnitude cheaper than Train.
+package gmm
+
+import (
+	"fmt"
+
+	"github.com/memheatmap/mhm/internal/mat"
+	"github.com/memheatmap/mhm/internal/train"
+)
+
+// RefitOptions tunes Refit.
+type RefitOptions struct {
+	// MaxIter bounds the EM iterations (default 4). With BatchSize set
+	// the fit always runs exactly MaxIter iterations — the bounded-
+	// iteration refresh contract.
+	MaxIter int
+	// BatchSize, when positive, runs each iteration over one contiguous
+	// rotating mini-batch instead of the full window.
+	BatchSize int
+	// Reg is the diagonal covariance regularization (default derived
+	// from the data variance, as in Train).
+	Reg float64
+	// Workers bounds the goroutines inside the fit; fits are
+	// bit-identical for every value.
+	Workers int
+}
+
+// Refit warm-starts EM from prev over data and returns the refreshed
+// mixture. prev is not modified; the returned model owns its storage.
+// The component count and dimensionality are pinned to prev's — the
+// warm-start contract shared with pca.Refresh.
+//
+//mhm:deterministic
+func Refit(data [][]float64, prev *Model, opts RefitOptions) (*Model, error) {
+	if prev == nil || len(prev.Components) == 0 {
+		return nil, fmt.Errorf("gmm: Refit: empty model: %w", ErrTraining)
+	}
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("gmm: Refit: empty window: %w", ErrTraining)
+	}
+	k, d := len(prev.Components), prev.Dim()
+	for i, x := range data {
+		if len(x) != d {
+			return nil, fmt.Errorf("gmm: Refit: sample %d has dim %d, want %d: %w", i, len(x), d, ErrTraining)
+		}
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 4
+	}
+	reg := opts.Reg
+	if mat.IsZero(reg) {
+		reg = 1e-6 * dataVariance(data)
+		if reg <= 0 {
+			reg = 1e-9
+		}
+	}
+	warm := &train.EMModel{
+		K: k, D: d,
+		Weights: make([]float64, k),
+		Means:   make([]float64, k*d),
+		Covs:    make([]float64, k*d*d),
+	}
+	for j := 0; j < k; j++ {
+		c := &prev.Components[j]
+		warm.Weights[j] = c.Weight
+		copy(warm.Means[j*d:(j+1)*d], c.Mean)
+		for a := 0; a < d; a++ {
+			copy(warm.Covs[j*d*d+a*d:j*d*d+(a+1)*d], c.Cov.Row(a))
+		}
+	}
+	fit, err := train.EMFit(data, nil, train.EMConfig{
+		K:         k,
+		MaxIter:   opts.MaxIter,
+		Tol:       1e-6,
+		Reg:       reg,
+		Workers:   opts.Workers,
+		Warm:      warm,
+		BatchSize: opts.BatchSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gmm: Refit: %w", err)
+	}
+	return modelFromFit(fit)
+}

@@ -99,6 +99,14 @@ type TopKOptions struct {
 	// goroutines; the operator's Apply must be concurrency-safe (DenseOp
 	// and GramOp are). Results are identical to the serial run.
 	Parallel bool
+	// Init warm-starts the iteration: its columns (an n×m matrix, m ≤
+	// k+Oversample — typically the previous model's eigenvectors) seed
+	// the leading block rows, and any remaining rows come from the
+	// seeded random generator as usual. When the operator has drifted
+	// only slightly from the one that produced Init, the block starts
+	// near the invariant subspace and converges in a handful of
+	// iterations instead of hundreds.
+	Init *Matrix
 }
 
 func (o *TopKOptions) fill(dim, k int) {
@@ -134,7 +142,23 @@ func EigenSymTopK(op SymOp, k int, opts TopKOptions) (*Eigen, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	// Block of b column vectors, stored as rows of q (b x n) for locality.
 	q := New(b, n)
-	for i := 0; i < b; i++ {
+	warm := 0
+	if opts.Init != nil {
+		if opts.Init.Rows() != n {
+			return nil, fmt.Errorf("mat: EigenSymTopK: Init has %d rows, operator dim %d: %w", opts.Init.Rows(), n, ErrShape)
+		}
+		warm = opts.Init.Cols()
+		if warm > b {
+			warm = b
+		}
+		for i := 0; i < warm; i++ {
+			row := q.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] = opts.Init.At(j, i)
+			}
+		}
+	}
+	for i := warm; i < b; i++ {
 		row := q.Row(i)
 		for j := range row {
 			row[j] = rng.NormFloat64()

@@ -1,0 +1,87 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEigenSymTopKWarmStart seeds the block with the true eigenvectors
+// and checks the iteration still lands on the correct pairs — and does
+// so within a tiny iteration budget, which a cold random start cannot.
+func TestEigenSymTopKWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n, k := 40, 5
+	a := randSPD(rng, n)
+	full, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := New(n, k)
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			// Perturb the true vectors slightly: the warm start models a
+			// previous basis for a drifted operator.
+			init.Set(i, c, full.Vectors.At(i, c)+0.01*rng.NormFloat64())
+		}
+	}
+	warm, err := EigenSymTopK(DenseOp{M: a}, k, TopKOptions{MaxIter: 6, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if !almostEq(warm.Values[i], full.Values[i], 1e-6*(1+full.Values[0])) {
+			t.Errorf("warm value[%d] = %g, full = %g", i, warm.Values[i], full.Values[i])
+		}
+		dot := math.Abs(Dot(warm.Vectors.ColCopy(i), full.Vectors.ColCopy(i)))
+		if !almostEq(dot, 1, 1e-4) {
+			t.Errorf("warm vector %d misaligned: |dot| = %g", i, dot)
+		}
+	}
+}
+
+// TestEigenSymTopKWarmStartDeterministic pins that the warm-started
+// iteration is a pure function of (operator, Init, opts): two runs are
+// bit-identical, and parallel matches serial.
+func TestEigenSymTopKWarmStartDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n, k := 30, 4
+	a := randSPD(rng, n)
+	init := New(n, 2) // fewer columns than the block: remainder is random
+	for i := 0; i < n; i++ {
+		init.Set(i, 0, rng.NormFloat64())
+		init.Set(i, 1, rng.NormFloat64())
+	}
+	run := func(parallel bool) *Eigen {
+		es, err := EigenSymTopK(DenseOp{M: a}, k, TopKOptions{Init: init, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return es
+	}
+	base := run(false)
+	for _, parallel := range []bool{false, true} {
+		got := run(parallel)
+		for i := range base.Values {
+			if math.Float64bits(base.Values[i]) != math.Float64bits(got.Values[i]) {
+				t.Fatalf("parallel=%t: value[%d] differs", parallel, i)
+			}
+		}
+		for i := range base.Vectors.data {
+			if math.Float64bits(base.Vectors.data[i]) != math.Float64bits(got.Vectors.data[i]) {
+				t.Fatalf("parallel=%t: vector data[%d] differs", parallel, i)
+			}
+		}
+	}
+}
+
+// TestEigenSymTopKWarmStartRejectsShape checks Init row validation.
+func TestEigenSymTopKWarmStartRejectsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := randSPD(rng, 10)
+	bad := New(9, 2)
+	if _, err := EigenSymTopK(DenseOp{M: a}, 3, TopKOptions{Init: bad}); !errors.Is(err, ErrShape) {
+		t.Fatalf("mismatched Init rows: err = %v, want ErrShape", err)
+	}
+}

@@ -1,0 +1,61 @@
+package refresh
+
+import (
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/fleet"
+)
+
+// BenchmarkCenteredObserve times the Observe hot path at the
+// simulator's region shape — the steady-state cost of keeping the
+// training window current. allocs/op must be 0.
+func BenchmarkCenteredObserve(b *testing.B) {
+	wl, det := fixture(b)
+	r := newRefresher(b, det, Config{Window: 192, Holdout: 64, HoldoutEvery: 4})
+	l := fleet.SimRegion.Cells()
+	v := make([]float64, l)
+	wl.VectorInto(v, 0, 1, false)
+	d, err := det.LogDensityVector(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feed(b, r, wl, det, 0, 200, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Observe(v, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefreshIncremental times one incremental refresh (warm
+// eigen + warm EM + θ recalibration) over a full window — the fast
+// path the fleet loop runs every cycle.
+func BenchmarkRefreshIncremental(b *testing.B) {
+	wl, det := fixture(b)
+	r := newRefresher(b, det, Config{Window: 192, Holdout: 64, HoldoutEvery: 4})
+	feed(b, r, wl, det, 0, 300, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRetrain times the slow path the refresh replaces: a
+// from-scratch core.Train over the same window size, via the workload's
+// trainer (PCA restart + GMM restarts + calibration).
+func BenchmarkFullRetrain(b *testing.B) {
+	wl, err := fleet.NewWorkload(1, fleet.SimRegion)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.TrainDetector(192, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/memheatmap/mhm/internal/gmm"
+	"github.com/memheatmap/mhm/internal/mat"
+	"github.com/memheatmap/mhm/internal/pca"
+)
+
+// repackModel builds a well-conditioned basis + mixture (white-box twin
+// of score_test.synthModel, which lives in the external test package).
+func repackModel(t testing.TB, l, lp, j int, seed int64) (*pca.Model, *gmm.Model) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]float64, lp)
+	for c := range cols {
+		v := make([]float64, l)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		for _, prev := range cols[:c] {
+			d := mat.Dot(prev, v)
+			for i := range v {
+				v[i] -= d * prev[i]
+			}
+		}
+		mat.Normalize(v)
+		cols[c] = v
+	}
+	comps := mat.New(l, lp)
+	for c, v := range cols {
+		for i, x := range v {
+			comps.Set(i, c, x)
+		}
+	}
+	mean := make([]float64, l)
+	for i := range mean {
+		mean[i] = 50 * rng.Float64()
+	}
+	p := &pca.Model{Mean: mean, Components: comps, Values: make([]float64, lp), TotalVariance: 1}
+	g := &gmm.Model{}
+	for c := 0; c < j; c++ {
+		mu := make([]float64, lp)
+		for i := range mu {
+			mu[i] = 10 * rng.NormFloat64()
+		}
+		a := mat.New(lp, lp)
+		for i := 0; i < lp; i++ {
+			for k := 0; k < lp; k++ {
+				a.Set(i, k, rng.NormFloat64())
+			}
+		}
+		cov := mat.New(lp, lp)
+		for i := 0; i < lp; i++ {
+			for k := 0; k < lp; k++ {
+				cov.Set(i, k, mat.Dot(a.Row(i), a.Row(k)))
+			}
+			cov.Set(i, i, cov.At(i, i)+1)
+		}
+		g.Components = append(g.Components, gmm.Component{
+			Weight: 1 / float64(j), Mean: mu, Cov: cov,
+		})
+	}
+	return p, g
+}
+
+// TestRepackBitIdentical packs refreshed models into a retired engine
+// and checks every packed value matches a fresh New bit for bit.
+func TestRepackBitIdentical(t *testing.T) {
+	const l, lp, j = 64, 6, 4
+	p1, g1 := repackModel(t, l, lp, j, 71)
+	spare, err := New(p1, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, g2 := repackModel(t, l, lp, j, 72)
+	fresh, err := New(p2, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Repack(spare, p2, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spare {
+		t.Fatal("Repack did not reuse the spare engine")
+	}
+	for i := range fresh.panel {
+		if math.Float64bits(fresh.panel[i]) != math.Float64bits(got.panel[i]) {
+			t.Fatalf("panel[%d] differs", i)
+		}
+	}
+	for i := range fresh.meanOff {
+		if math.Float64bits(fresh.meanOff[i]) != math.Float64bits(got.meanOff[i]) {
+			t.Fatalf("meanOff[%d] differs", i)
+		}
+	}
+	if len(fresh.comps) != len(got.comps) {
+		t.Fatalf("%d packed components, want %d", len(got.comps), len(fresh.comps))
+	}
+	for c := range fresh.comps {
+		fc, gc := &fresh.comps[c], &got.comps[c]
+		if math.Float64bits(fc.logW) != math.Float64bits(gc.logW) ||
+			math.Float64bits(fc.base) != math.Float64bits(gc.base) {
+			t.Fatalf("component %d scalars differ", c)
+		}
+		for i := range fc.mean {
+			if math.Float64bits(fc.mean[i]) != math.Float64bits(gc.mean[i]) {
+				t.Fatalf("component %d mean[%d] differs", c, i)
+			}
+		}
+		for i := range fc.chol {
+			if math.Float64bits(fc.chol[i]) != math.Float64bits(gc.chol[i]) {
+				t.Fatalf("component %d chol[%d] differs", c, i)
+			}
+		}
+	}
+}
+
+// TestRepackReusesBacking pins the zero-reallocation contract: the
+// panel, mean offsets and component blocks keep their backing arrays
+// across a repack.
+func TestRepackReusesBacking(t *testing.T) {
+	const l, lp, j = 48, 5, 3
+	p1, g1 := repackModel(t, l, lp, j, 73)
+	spare, err := New(p1, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel0, mean0, chol0 := &spare.panel[0], &spare.comps[0].mean[0], &spare.comps[0].chol[0]
+	p2, g2 := repackModel(t, l, lp, j, 74)
+	got, err := Repack(spare, p2, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got.panel[0] != panel0 || &got.comps[0].mean[0] != mean0 || &got.comps[0].chol[0] != chol0 {
+		t.Fatal("Repack reallocated engine storage")
+	}
+}
+
+// TestRepackFallsBackOnShapeChange checks a dimension change falls back
+// to a fresh engine instead of corrupting the spare.
+func TestRepackFallsBackOnShapeChange(t *testing.T) {
+	p1, g1 := repackModel(t, 64, 6, 4, 75)
+	spare, err := New(p1, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, g2 := repackModel(t, 64, 4, 4, 76) // different L'
+	got, err := Repack(spare, p2, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == spare {
+		t.Fatal("Repack reused a shape-mismatched spare")
+	}
+	if got.lp != 4 {
+		t.Fatalf("fallback engine lp = %d, want 4", got.lp)
+	}
+	if _, err := Repack(nil, p2, g2); err != nil {
+		t.Fatalf("nil spare: %v", err)
+	}
+}
+
+// TestRepackScoresMatchNew runs the full scoring path through a
+// repacked engine and a fresh one and compares densities bit for bit.
+func TestRepackScoresMatchNew(t *testing.T) {
+	const l, lp, j = 80, 7, 5
+	p1, g1 := repackModel(t, l, lp, j, 77)
+	spare, err := New(p1, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, g2 := repackModel(t, l, lp, j, 78)
+	fresh, err := New(p2, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Repack(spare, p2, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(79))
+	v := make([]float64, l)
+	sFresh, sRe := fresh.NewScorer(), re.NewScorer()
+	for trial := 0; trial < 50; trial++ {
+		for i := range v {
+			v[i] = 100 * rng.Float64()
+		}
+		a, err := sFresh.Score(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sRe.Score(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("trial %d: fresh %v vs repacked %v", trial, a, b)
+		}
+	}
+}

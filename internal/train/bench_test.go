@@ -8,7 +8,10 @@ import "testing"
 // allocs/op must be 0: the engine preallocates everything in newEM.
 func BenchmarkTrainEM(b *testing.B) {
 	data, means := testData(2048, 9, 5, 1)
-	e := newEM(data, means, fitCfg(5, 1))
+	e, err := newEM(data, means, fitCfg(5, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	e.eStep()
 	if bad := e.mStep(); bad >= 0 {
 		b.Fatalf("M-step failed on component %d", bad)

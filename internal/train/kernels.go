@@ -154,31 +154,33 @@ func respLLRow(row []float64) float64 {
 //
 //mhm:hotpath
 func (e *em) mStepComponent(j int) bool {
-	n, d, k := e.n, e.d, e.k
+	d, k := e.d, e.k
+	lo, hi := e.bLo, e.bHi
+	bn := hi - lo
 	nj := 0.0
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		nj += e.resp[i*k+j]
 	}
 	if nj < 1e-10 {
-		worstI := 0
+		worstI := lo
 		worstLL := math.Inf(1)
-		for i, lv := range e.ll {
-			if lv < worstLL {
-				worstI, worstLL = i, lv
+		for i := lo; i < hi; i++ {
+			if e.ll[i] < worstLL {
+				worstI, worstLL = i, e.ll[i]
 			}
 		}
 		copy(e.mean[j*d:(j+1)*d], e.x[worstI*d:(worstI+1)*d])
-		e.weight[j] = 1 / float64(n)
+		e.weight[j] = 1 / float64(bn)
 		e.logW[j] = math.Log(e.weight[j])
 		return true // covariance (and its factor) kept
 	}
-	e.weight[j] = nj / float64(n)
+	e.weight[j] = nj / float64(bn)
 	e.logW[j] = math.Log(e.weight[j])
 	meanj := e.mean[j*d : (j+1)*d]
 	for c := range meanj {
 		meanj[c] = 0
 	}
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		w := e.resp[i*k+j]
 		xi := e.x[i*d : (i+1)*d]
 		for c, v := range xi {
@@ -193,7 +195,7 @@ func (e *em) mStepComponent(j int) bool {
 		covj[c] = 0
 	}
 	diff := e.mdiff[j*d : (j+1)*d]
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		w := e.resp[i*k+j]
 		if mat.IsZero(w) {
 			continue

@@ -54,6 +54,22 @@ type EMConfig struct {
 	// chunks, M-step components). Values below 1 mean serial. Results
 	// are bit-identical for every value.
 	Workers int
+	// Warm, when non-nil, seeds the fit from an existing model instead
+	// of the spherical initializer: weights, means and covariances are
+	// copied and the covariances Cholesky-factored up front. initMeans
+	// is ignored (may be nil); K and the sample dimension must match the
+	// model, and every covariance must still be SPD.
+	Warm *EMModel
+	// BatchSize, when positive, runs each iteration's E and M pass over
+	// one contiguous mini-batch of at most BatchSize samples instead of
+	// the full set, rotating through the fixed batch grid in iteration
+	// order (iteration i uses batch i mod ⌈n/BatchSize⌉). The grid
+	// depends only on n and BatchSize, so fits stay bit-identical for
+	// every worker count. Mini-batch likelihoods are not comparable
+	// across batches, so Tol-based early stopping is disabled: the fit
+	// runs exactly MaxIter iterations — the refresh loop's bounded-
+	// iteration contract.
+	BatchSize int
 }
 
 // EMModel is a fitted mixture in flat form: component j's mean occupies
@@ -76,16 +92,33 @@ type EMModel struct {
 //mhm:deterministic
 func EMFit(data [][]float64, initMeans [][]float64, cfg EMConfig) (*EMModel, error) {
 	n := len(data)
-	if n == 0 || cfg.K <= 0 || len(initMeans) != cfg.K {
+	if n == 0 || cfg.K <= 0 || (cfg.Warm == nil && len(initMeans) != cfg.K) {
 		return nil, fmt.Errorf("train: EMFit: %d samples, %d components, %d initial means", n, cfg.K, len(initMeans))
 	}
 	d := len(data[0])
-	e := newEM(data, initMeans, cfg)
+	if cfg.Warm != nil && (cfg.Warm.K != cfg.K || cfg.Warm.D != d) {
+		return nil, fmt.Errorf("train: EMFit: warm model is %d×%d, fit wants %d×%d", cfg.Warm.K, cfg.Warm.D, cfg.K, d)
+	}
+	e, err := newEM(data, initMeans, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nBatches := 1
+	if cfg.BatchSize > 0 && cfg.BatchSize < n {
+		nBatches = chunkCount(n, cfg.BatchSize)
+	}
 	prevLL := math.Inf(-1)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if nBatches > 1 {
+			e.bLo = (iter % nBatches) * cfg.BatchSize
+			e.bHi = e.bLo + cfg.BatchSize
+			if e.bHi > n {
+				e.bHi = n
+			}
+		}
 		e.eStep()
 		ll := e.sumLL()
-		if iter > 0 && ll-prevLL < cfg.Tol {
+		if nBatches == 1 && iter > 0 && ll-prevLL < cfg.Tol {
 			prevLL = ll
 			break
 		}
@@ -113,6 +146,13 @@ type em struct {
 	workers int
 	reg     float64
 
+	// The active sample range [bLo, bHi): the full set for batch EM,
+	// one rotating contiguous mini-batch otherwise. Every kernel —
+	// E-step chunks, the log-likelihood fold, the M-step sweeps and the
+	// dead-component reseed — confines itself to this range, so the
+	// full-batch case reproduces the historical arithmetic bit for bit.
+	bLo, bHi int
+
 	x    []float64 // n×d packed samples
 	resp []float64 // n×k: log-density terms, then responsibilities in place
 	ll   []float64 // per-sample log-likelihood of the current E-step
@@ -134,9 +174,11 @@ type em struct {
 	mChunk func(idx, worker int)
 }
 
-// newEM packs the data and builds the initial model: the caller's means,
-// uniform weights, shared spherical covariance InitVar+Reg.
-func newEM(data [][]float64, initMeans [][]float64, cfg EMConfig) *em {
+// newEM packs the data and builds the initial model: the caller's means
+// with uniform weights and a shared spherical covariance InitVar+Reg,
+// or — warm start — the given model's weights, means and covariances,
+// factored up front.
+func newEM(data [][]float64, initMeans [][]float64, cfg EMConfig) (*em, error) {
 	n, d, k := len(data), len(data[0]), cfg.K
 	workers := cfg.Workers
 	if workers < 1 {
@@ -146,61 +188,80 @@ func newEM(data [][]float64, initMeans [][]float64, cfg EMConfig) *em {
 		n: n, d: d, k: k,
 		workers: workers,
 		reg:     cfg.Reg,
-		x:       make([]float64, n*d),
-		resp:    make([]float64, n*k),
-		ll:      make([]float64, n),
-		weight:  make([]float64, k),
-		logW:    make([]float64, k),
-		mean:    make([]float64, k*d),
-		cov:     make([]float64, k*d*d),
-		chol:    make([]float64, k*d*d),
-		base:    make([]float64, k),
-		spd:     make([]bool, k),
-		pack:    make([]float64, workers*(16*d+8)),
-		mdiff:   make([]float64, k*d),
+		bLo:     0, bHi: n,
+		x:      make([]float64, n*d),
+		resp:   make([]float64, n*k),
+		ll:     make([]float64, n),
+		weight: make([]float64, k),
+		logW:   make([]float64, k),
+		mean:   make([]float64, k*d),
+		cov:    make([]float64, k*d*d),
+		chol:   make([]float64, k*d*d),
+		base:   make([]float64, k),
+		spd:    make([]bool, k),
+		pack:   make([]float64, workers*(16*d+8)),
+		mdiff:  make([]float64, k*d),
 	}
 	for i, v := range data {
 		copy(e.x[i*d:(i+1)*d], v)
 	}
-	v0 := cfg.InitVar + cfg.Reg
-	for j := 0; j < k; j++ {
-		copy(e.mean[j*d:(j+1)*d], initMeans[j])
-		e.weight[j] = 1 / float64(k)
-		e.logW[j] = math.Log(e.weight[j])
-		covj := e.cov[j*d*d : (j+1)*d*d]
-		for a := 0; a < d; a++ {
-			covj[a*d+a] = v0
+	if w := cfg.Warm; w != nil {
+		copy(e.weight, w.Weights)
+		copy(e.mean, w.Means)
+		copy(e.cov, w.Covs)
+		for j := 0; j < k; j++ {
+			if !(e.weight[j] > 0) {
+				return nil, fmt.Errorf("train: warm component %d has weight %v", j, e.weight[j])
+			}
+			e.logW[j] = math.Log(e.weight[j])
+			cholj := e.chol[j*d*d : (j+1)*d*d]
+			if !cholFlat(e.cov[j*d*d:(j+1)*d*d], cholj, d) {
+				return nil, fmt.Errorf("train: warm component %d: %w", j, ErrNotSPD)
+			}
+			e.base[j] = float64(d)*log2Pi + logDetFlat(cholj, d)
 		}
-		// The spherical initial covariance is SPD by construction.
-		cholFlat(covj, e.chol[j*d*d:(j+1)*d*d], d)
-		e.base[j] = float64(d)*log2Pi + logDetFlat(e.chol[j*d*d:(j+1)*d*d], d)
+	} else {
+		v0 := cfg.InitVar + cfg.Reg
+		for j := 0; j < k; j++ {
+			copy(e.mean[j*d:(j+1)*d], initMeans[j])
+			e.weight[j] = 1 / float64(k)
+			e.logW[j] = math.Log(e.weight[j])
+			covj := e.cov[j*d*d : (j+1)*d*d]
+			for a := 0; a < d; a++ {
+				covj[a*d+a] = v0
+			}
+			// The spherical initial covariance is SPD by construction.
+			cholFlat(covj, e.chol[j*d*d:(j+1)*d*d], d)
+			e.base[j] = float64(d)*log2Pi + logDetFlat(e.chol[j*d*d:(j+1)*d*d], d)
+		}
 	}
 	e.eChunk = func(c, wi int) {
-		lo := c * sampleChunk
+		lo := e.bLo + c*sampleChunk
 		hi := lo + sampleChunk
-		if hi > e.n {
-			hi = e.n
+		if hi > e.bHi {
+			hi = e.bHi
 		}
 		e.densRange(lo, hi, wi)
 	}
 	e.mChunk = func(j, _ int) {
 		e.spd[j] = e.mStepComponent(j)
 	}
-	return e
+	return e, nil
 }
 
 // eStep fills resp with responsibilities and ll with per-sample
-// log-likelihoods, parallel over fixed sample chunks.
+// log-likelihoods over the active range, parallel over fixed sample
+// chunks.
 func (e *em) eStep() {
-	chunksWorker(chunkCount(e.n, sampleChunk), e.workers, e.eChunk)
+	chunksWorker(chunkCount(e.bHi-e.bLo, sampleChunk), e.workers, e.eChunk)
 }
 
-// sumLL folds the per-sample log-likelihoods in ascending sample order —
-// the same order the staged E-step accumulated them — keeping the
-// convergence test independent of the chunk grid.
+// sumLL folds the active range's per-sample log-likelihoods in
+// ascending sample order — the same order the staged E-step accumulated
+// them — keeping the convergence test independent of the chunk grid.
 func (e *em) sumLL() float64 {
 	s := 0.0
-	for _, v := range e.ll {
+	for _, v := range e.ll[e.bLo:e.bHi] {
 		s += v
 	}
 	return s

@@ -77,7 +77,10 @@ func TestEMFitWorkerCountsBitIdentical(t *testing.T) {
 // performs zero heap allocations.
 func TestEMIterationAllocationFree(t *testing.T) {
 	data, means := testData(512, 9, 5, 3)
-	e := newEM(data, means, fitCfg(5, 1))
+	e, err := newEM(data, means, fitCfg(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.eStep()
 	if bad := e.mStep(); bad >= 0 {
 		t.Fatalf("M-step failed on component %d", bad)

@@ -1,0 +1,119 @@
+package train
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEMFitWarmStart seeds EM from a previous fit and checks the warm
+// run needs no init means, keeps K, and does not regress the data
+// log-likelihood (a warm iteration from the optimum is a no-op up to
+// rounding; from anywhere else EM ascends).
+func TestEMFitWarmStart(t *testing.T) {
+	data, means := testData(400, 6, 3, 21)
+	prev, err := EMFit(data, means, fitCfg(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fitCfg(3, 1)
+	cfg.MaxIter = 4
+	cfg.Warm = prev
+	got, err := EMFit(data, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != prev.K || got.D != prev.D {
+		t.Fatalf("warm fit shape (%d,%d), want (%d,%d)", got.K, got.D, prev.K, prev.D)
+	}
+	if got.LogLikelihood < prev.LogLikelihood-1e-6*math.Abs(prev.LogLikelihood) {
+		t.Fatalf("warm LL %v regressed below seed %v", got.LogLikelihood, prev.LogLikelihood)
+	}
+}
+
+// TestEMFitWarmStartOnShiftedData warm-starts on a drifted window and
+// checks convergence in a small bounded iteration budget: the warm fit
+// must reach within 0.5% of a cold 40-iteration fit's log-likelihood in
+// 4 iterations.
+func TestEMFitWarmStartOnShiftedData(t *testing.T) {
+	data, means := testData(400, 6, 3, 21)
+	prev, err := EMFit(data, means, fitCfg(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, shiftMeans := testData(400, 6, 3, 22)
+	for _, v := range shifted {
+		for j := range v {
+			v[j] += 0.5
+		}
+	}
+	cold, err := EMFit(shifted, shiftMeans, fitCfg(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fitCfg(3, 1)
+	cfg.MaxIter = 4
+	cfg.Warm = prev
+	warm, err := EMFit(shifted, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.LogLikelihood < cold.LogLikelihood-0.005*math.Abs(cold.LogLikelihood) {
+		t.Fatalf("warm LL %v too far below cold LL %v", warm.LogLikelihood, cold.LogLikelihood)
+	}
+}
+
+// TestEMFitMiniBatchDeterministic pins bit-identity of the mini-batch
+// path across worker counts, including a batch size that does not
+// divide n.
+func TestEMFitMiniBatchDeterministic(t *testing.T) {
+	data, means := testData(1029, 5, 3, 13)
+	prev, err := EMFit(data, means, fitCfg(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *EMModel {
+		cfg := fitCfg(3, workers)
+		cfg.MaxIter = 6
+		cfg.Warm = prev
+		cfg.BatchSize = 300
+		m, err := EMFit(data, nil, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return m
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for j := range base.Weights {
+			if math.Float64bits(base.Weights[j]) != math.Float64bits(got.Weights[j]) {
+				t.Fatalf("workers=%d: weight[%d] differs", workers, j)
+			}
+		}
+		for i := range base.Means {
+			if math.Float64bits(base.Means[i]) != math.Float64bits(got.Means[i]) {
+				t.Fatalf("workers=%d: mean[%d] differs", workers, i)
+			}
+		}
+		for i := range base.Covs {
+			if math.Float64bits(base.Covs[i]) != math.Float64bits(got.Covs[i]) {
+				t.Fatalf("workers=%d: cov[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestEMFitWarmRejectsShapeMismatch checks warm-start validation.
+func TestEMFitWarmRejectsShapeMismatch(t *testing.T) {
+	data, means := testData(100, 4, 2, 3)
+	prev, err := EMFit(data, means, fitCfg(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, _ := testData(100, 5, 2, 4)
+	cfg := fitCfg(2, 1)
+	cfg.Warm = prev
+	if _, err := EMFit(wrong, nil, cfg); err == nil {
+		t.Fatal("warm fit over mismatched dimension succeeded")
+	}
+}

@@ -38,6 +38,14 @@
 # Bars: the nominal run must shed nothing (shedding engages only above
 # configured capacity) and the overloaded run must shed something.
 #
+# Refresh: benchmarks the online model-refresh engine's Observe hot
+# path, then runs experiment A14 (mhmreport -exp refresh) — one
+# steady-state incremental refresh against the full retrain it replaces,
+# detection-quality parity on a shared eval set, and a mini fleet run
+# with the refresh loop hot-swapping models — and writes
+# BENCH_refresh.json. Bars: Observe must allocate 0 times per op,
+# refresh speedup >= 10x, AUC gap <= 0.02, dropped intervals == 0.
+#
 # Usage: scripts/bench.sh [count] [benchtime]
 #   count     repetitions per benchmark for the median (default 3)
 #   benchtime go test -benchtime value (default 2s; use 10x for a smoke run)
@@ -356,3 +364,56 @@ printf '\n  ]\n}\n' >> "$FLEET_OUT"
 echo
 echo "wrote $FLEET_OUT:"
 cat "$FLEET_OUT"
+
+# ----------------------------------------------------------------- refresh
+
+REFRESH_OUT="BENCH_refresh.json"
+
+REFRESH_RAW="$(go test -run '^$' -bench 'CenteredObserve$' \
+  -benchmem -benchtime="$BENCHTIME" -count="$COUNT" ./internal/refresh)"
+
+printf '%s\n' "$REFRESH_RAW"
+
+printf '%s\n' "$REFRESH_RAW" | awk '
+/^BenchmarkCenteredObserve/ {
+    found = 1
+    if ($7 + 0 != 0) {
+        printf "bench.sh: refresh Observe allocates %d times per op, want 0\n", $7 + 0 > "/dev/stderr"
+        exit 1
+    }
+}
+END {
+    if (!found) {
+        print "bench.sh: missing BenchmarkCenteredObserve" > "/dev/stderr"
+        exit 1
+    }
+}
+'
+
+go run ./cmd/mhmreport -exp refresh -seed 1 -json "$REFRESH_OUT"
+
+awk '
+/"speedup":/           { gsub(/,/, "", $2); speedup = $2 + 0 }
+/"auc_gap":/           { gsub(/,/, "", $2); gap = $2 + 0 }
+/"dropped_intervals":/ { gsub(/,/, "", $2); dropped = $2 + 0 }
+END {
+    fail = 0
+    if (speedup < 10) {
+        printf "bench.sh: refresh speedup %.2fx below the 10x bar\n", speedup > "/dev/stderr"
+        fail = 1
+    }
+    if (gap > 0.02) {
+        printf "bench.sh: refreshed-vs-retrained AUC gap %.4f above the 0.02 slack\n", gap > "/dev/stderr"
+        fail = 1
+    }
+    if (dropped != 0) {
+        printf "bench.sh: refresh loop dropped %d intervals across hot swaps, want 0\n", dropped > "/dev/stderr"
+        fail = 1
+    }
+    exit fail
+}
+' "$REFRESH_OUT"
+
+echo
+echo "wrote $REFRESH_OUT:"
+cat "$REFRESH_OUT"
